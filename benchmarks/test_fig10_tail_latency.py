@@ -1,0 +1,31 @@
+"""Benchmark: Figure 10 — clean-slate 99th-percentile latencies."""
+
+from conftest import average, write_result
+
+from repro.experiments.clean_slate import fig10_tail_latency
+from repro.experiments.common import format_table
+
+
+def test_fig10_tail_latency(benchmark, clean_fragmented):
+    table = benchmark.pedantic(
+        lambda: fig10_tail_latency(clean_fragmented), rounds=1, iterations=1
+    )
+    write_result(
+        "fig10_tail_latency",
+        format_table(table, "Figure 10: p99 latency vs Host-B-VM-B"),
+    )
+    # Gemini reduces tail latency much more than the other systems
+    # (paper: 60% vs 14% on average).
+    gemini = average(table, "Gemini")
+    assert gemini < 0.9
+    others = [
+        average(table, s)
+        for s in ("THP", "Ingens", "HawkEye", "CA-paging", "Translation-Ranger")
+    ]
+    assert gemini < min(others)
+    # Ranger's continuous migrations give it the worst tail of the
+    # huge-page systems.
+    ranger = average(table, "Translation-Ranger")
+    assert ranger >= max(
+        average(table, s) for s in ("THP", "Ingens", "HawkEye")
+    ) - 0.05

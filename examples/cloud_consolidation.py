@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Scenario: consolidated cloud server — two VMs, two NUMA nodes.
+
+The applicability study of Section 6.5: a TLB-sensitive in-memory store is
+collocated with a non-TLB-sensitive on-disk database on the same host.
+Two questions:
+
+1. does Gemini still win for the TLB-sensitive tenant under contention?
+2. does it cost the tenant that has nothing to gain anything?
+
+Usage::
+
+    python examples/cloud_consolidation.py
+"""
+
+from repro import Simulation, SimulationConfig, make_workload
+
+
+def main() -> None:
+    config = SimulationConfig(
+        epochs=16,
+        host_mib=1024,
+        guest_mib=256,
+        nodes=2,
+        fragment_guest=0.5,
+        fragment_host=0.5,
+    )
+    pair = ("Masstree", "Shore")
+    systems = ["Host-B-VM-B", "THP", "Ingens", "HawkEye", "Gemini"]
+
+    print(f"Collocated VMs: {pair[0]} (TLB-sensitive) + {pair[1]} (not)")
+    print()
+    header = (
+        f"{'system':<12s} {pair[0] + ' thr':>14s} {pair[0] + ' p99':>14s} "
+        f"{pair[1] + ' thr':>12s}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    baselines = None
+    for system in systems:
+        workloads = [make_workload(pair[0]), make_workload(pair[1])]
+        sensitive, insensitive = Simulation(
+            workloads, system=system, config=config
+        ).run()
+        if baselines is None:
+            baselines = (sensitive, insensitive)
+        print(
+            f"{system:<12s} "
+            f"{sensitive.throughput / baselines[0].throughput:>13.2f}x "
+            f"{sensitive.p99_latency / baselines[0].p99_latency:>13.2f}x "
+            f"{insensitive.throughput / baselines[1].throughput:>11.3f}x"
+        )
+
+    print()
+    print(f"Reading: {pair[0]} gains from every huge-page system and most")
+    print(f"from Gemini; {pair[1]}'s column stays within a few percent of 1.0")
+    print("under Gemini — the cross-layer machinery idles when address")
+    print("translation is not the bottleneck (negligible overhead).")
+
+
+if __name__ == "__main__":
+    main()

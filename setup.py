@@ -1,0 +1,14 @@
+"""Compatibility shim for environments without the ``wheel`` package.
+
+``pip install -e .`` builds a PEP 660 editable wheel, which requires
+``wheel`` on older setuptools.  On fully-offline machines without it, use::
+
+    python setup.py develop
+
+which installs the same editable link through the legacy path.  All real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

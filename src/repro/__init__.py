@@ -1,0 +1,65 @@
+"""repro — a simulation-based reproduction of *Making Dynamic Page
+Coalescing Effective on Virtualized Clouds* (Gemini, EuroSys '23).
+
+The package builds, in pure Python, the full stack the paper's evaluation
+rests on — buddy allocators, two layers of page tables (guest process
+tables and the EPT), demand paging, page-coalescing policies for THP,
+Ingens, HawkEye, CA-paging and Translation-Ranger, an analytic TLB and
+two-dimensional page-walk model — and Gemini itself: the misaligned huge
+page scanner, huge booking with Algorithm 1's adaptive timeout, the
+enhanced memory allocator, the huge bucket, and the misaligned huge page
+promoter.
+
+Quick start::
+
+    from repro import Simulation, SimulationConfig, make_workload
+
+    result = Simulation(
+        make_workload("Redis"),
+        system="Gemini",
+        config=SimulationConfig(fragment_guest=0.8, fragment_host=0.8),
+    ).run_single()
+    print(result.throughput, result.well_aligned_rate)
+
+See ``examples/`` for runnable scenarios and ``repro.experiments`` for the
+harness that regenerates every table and figure of the paper.
+"""
+
+from repro.core import GeminiConfig, GeminiRuntime
+from repro.hypervisor import Platform, VM
+from repro.metrics.alignment import AlignmentReport, alignment_report
+from repro.policies import PAPER_SYSTEMS, SYSTEMS, system_spec
+from repro.sim import RunResult, Simulation, SimulationConfig, run_workload
+from repro.workloads import (
+    LATENCY_SUITE,
+    MOTIVATION_SUITE,
+    TLB_SENSITIVE_SUITE,
+    Workload,
+    make_workload,
+    workload_names,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlignmentReport",
+    "GeminiConfig",
+    "GeminiRuntime",
+    "LATENCY_SUITE",
+    "MOTIVATION_SUITE",
+    "PAPER_SYSTEMS",
+    "Platform",
+    "RunResult",
+    "SYSTEMS",
+    "Simulation",
+    "SimulationConfig",
+    "TLB_SENSITIVE_SUITE",
+    "VM",
+    "Workload",
+    "alignment_report",
+    "make_workload",
+    "run_workload",
+    "system_spec",
+    "workload_names",
+    "__version__",
+]

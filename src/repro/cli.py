@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    Show the available systems and workload models.
+``run``
+    Simulate one workload under one or more systems and print a summary.
+``experiment``
+    Regenerate one of the paper's tables/figures or the extra studies:
+    fig02, fig03, clean-slate (figs 8-11 + table 3), reused-vm (figs 12-15
+    + table 4), fig16, collocation (figs 17-18), ablations, validation,
+    sweeps, interplay.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    ablations,
+    breakdown,
+    clean_slate,
+    collocation,
+    fig02_microbench,
+    fig03_motivation,
+    interplay,
+    reused_vm,
+    sweeps,
+    validation,
+)
+from repro.policies.registry import PAPER_SYSTEMS, SYSTEMS
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Simulation
+from repro.workloads.suite import make_workload, workload_names
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Simulation-based reproduction of Gemini (EuroSys '23)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list systems and workloads")
+
+    run = sub.add_parser("run", help="simulate one workload")
+    run.add_argument("workload", help="workload name (see `repro list`)")
+    run.add_argument(
+        "--system",
+        "-s",
+        action="append",
+        dest="systems",
+        help="system(s) to run; repeatable (default: Host-B-VM-B, THP, Gemini)",
+    )
+    run.add_argument("--epochs", type=int, default=16)
+    run.add_argument("--fragment", type=float, default=0.8,
+                     help="target FMFI at both layers (default 0.8)")
+    run.add_argument("--guest-mib", type=int, default=256)
+    run.add_argument("--host-mib", type=int, default=768)
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--reused-vm", action="store_true",
+                     help="prime the VM with a full SVM run first")
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    experiment.add_argument(
+        "name",
+        choices=[
+            "fig02", "fig03", "clean-slate", "reused-vm", "fig16",
+            "collocation", "ablations", "validation", "sweeps",
+            "interplay",
+        ],
+    )
+    experiment.add_argument("--epochs", type=int, default=None)
+    experiment.add_argument("--unfragmented", action="store_true")
+    experiment.add_argument(
+        "--workload", "-w", action="append", dest="workloads",
+        help="restrict to specific workloads; repeatable",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    print("Systems:")
+    for name, spec in SYSTEMS.items():
+        star = " (paper comparison set)" if name in PAPER_SYSTEMS else ""
+        print(f"  {name}{star}")
+    print()
+    print("Workloads (Table 2):")
+    for name in workload_names():
+        workload = make_workload(name)
+        print(f"  {name:<14s} {workload.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    systems = args.systems or ["Host-B-VM-B", "THP", "Gemini"]
+    config = SimulationConfig(
+        epochs=args.epochs,
+        fragment_guest=args.fragment,
+        fragment_host=args.fragment,
+        guest_mib=args.guest_mib,
+        host_mib=args.host_mib,
+        seed=args.seed,
+    )
+    header = (
+        f"{'system':<20s} {'throughput':>10s} {'mean lat':>9s} {'p99':>9s} "
+        f"{'TLB misses':>11s} {'aligned':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    baseline = None
+    for system in systems:
+        primer = make_workload("SVM") if args.reused_vm else None
+        result = Simulation(
+            make_workload(args.workload), system=system, config=config,
+            primer=primer,
+        ).run_single()
+        if baseline is None:
+            baseline = result
+        print(
+            f"{system:<20s} "
+            f"{result.throughput / baseline.throughput:>9.2f}x "
+            f"{result.mean_latency / baseline.mean_latency:>8.2f}x "
+            f"{result.p99_latency / baseline.p99_latency:>8.2f}x "
+            f"{result.tlb_misses:>11.2e} "
+            f"{result.well_aligned_rate:>7.0%}"
+        )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    name = args.name
+    epochs = args.epochs
+    if name == "fig02":
+        print(fig02_microbench.format_fig02(fig02_microbench.run_fig02()))
+    elif name == "fig03":
+        results = fig03_motivation.run_fig03(epochs=epochs)
+        print(fig03_motivation.format_fig03(results))
+    elif name == "clean-slate":
+        results = clean_slate.run_clean_slate(
+            fragmented=not args.unfragmented,
+            workloads=args.workloads,
+            epochs=epochs,
+        )
+        label = " (unfragmented)" if args.unfragmented else " (fragmented)"
+        print(clean_slate.format_clean_slate(results, label))
+    elif name == "reused-vm":
+        results = reused_vm.run_reused_vm(workloads=args.workloads, epochs=epochs)
+        print(reused_vm.format_reused_vm(results))
+    elif name == "fig16":
+        results = breakdown.run_breakdown(workloads=args.workloads, epochs=epochs)
+        print(breakdown.format_breakdown(results))
+    elif name == "collocation":
+        results = collocation.run_collocation(epochs=epochs)
+        print(collocation.format_collocation(results))
+    elif name == "validation":
+        points = validation.run_validation()
+        print(validation.format_validation(points))
+    elif name == "sweeps":
+        print(sweeps.format_sweep(
+            sweeps.run_fragmentation_sweep(epochs=epochs),
+            "Fragmentation sweep (Masstree)",
+        ))
+        print()
+        print(sweeps.format_sweep(
+            sweeps.run_tlb_sweep(epochs=epochs),
+            "TLB capacity sweep (Masstree)",
+        ))
+    elif name == "interplay":
+        print(interplay.format_balloon(interplay.run_balloon_interplay(epochs=epochs)))
+        print()
+        print(interplay.format_ksm(interplay.run_ksm_interplay(epochs=epochs)))
+    elif name == "ablations":
+        print(ablations.format_ablation(
+            ablations.run_timeout_ablation(epochs=epochs),
+            "Booking timeout (Algorithm 1)",
+        ))
+        print()
+        print(ablations.format_ablation(
+            ablations.run_prealloc_sweep(epochs=epochs),
+            "Huge preallocation threshold",
+        ))
+        print()
+        print(ablations.format_ablation(
+            ablations.run_bucket_hold_sweep(epochs=epochs),
+            "Bucket hold time",
+        ))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    return 1  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Gemini: the paper's primary contribution.
+
+Cross-layer huge-page alignment for virtualized clouds — the misaligned
+huge page scanner (MHPS), huge booking with Algorithm 1's adaptive timeout,
+the enhanced memory allocator (EMA, built on the shared placement machinery
+in :mod:`repro.policies.placement`), the huge bucket, the misaligned huge
+page promoter (MHPP), and the runtime that orchestrates them.
+"""
+
+from repro.core.booking import BookingTable, ReservedRegionPool, TimeoutController
+from repro.core.bucket import HugeBucket
+from repro.core.mhps import MisalignedScanner, ScanResult
+from repro.core.policy import GeminiGuestPolicy, GeminiHostPolicy
+from repro.core.promoter import GuestPromoter, HostPromoter
+from repro.core.runtime import GeminiConfig, GeminiRuntime
+
+__all__ = [
+    "BookingTable",
+    "GeminiConfig",
+    "GeminiGuestPolicy",
+    "GeminiHostPolicy",
+    "GeminiRuntime",
+    "GuestPromoter",
+    "HostPromoter",
+    "HugeBucket",
+    "MisalignedScanner",
+    "ReservedRegionPool",
+    "ScanResult",
+    "TimeoutController",
+]

@@ -1,0 +1,44 @@
+"""Experiment harness: one module per paper table/figure (see DESIGN.md's
+per-experiment index) plus ablations of Gemini's design choices."""
+
+from repro.experiments import (
+    ablations,
+    interplay,
+    breakdown,
+    clean_slate,
+    collocation,
+    fig02_microbench,
+    fig03_motivation,
+    reused_vm,
+    sweeps,
+    validation,
+)
+from repro.experiments.common import (
+    BASELINE,
+    FRAGMENTED,
+    PAPER_SYSTEMS,
+    UNFRAGMENTED,
+    format_table,
+    normalize,
+    run_matrix,
+)
+
+__all__ = [
+    "BASELINE",
+    "FRAGMENTED",
+    "PAPER_SYSTEMS",
+    "UNFRAGMENTED",
+    "ablations",
+    "breakdown",
+    "clean_slate",
+    "collocation",
+    "fig02_microbench",
+    "fig03_motivation",
+    "format_table",
+    "interplay",
+    "normalize",
+    "reused_vm",
+    "run_matrix",
+    "sweeps",
+    "validation",
+]

@@ -1,0 +1,129 @@
+"""Ablation studies beyond the paper's figures.
+
+These cover the design choices DESIGN.md calls out:
+
+* **booking timeout adaptation** (Algorithm 1) on vs. off (fixed timeouts);
+* **huge preallocation threshold** sweep (the paper selected 256
+  experimentally, Section 4.2);
+* **bucket hold time** sweep (how long freed well-aligned huge pages are
+  retained, Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.runtime import GeminiConfig
+from repro.experiments.common import FRAGMENTED, format_table
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Simulation
+from repro.sim.results import RunResult
+from repro.workloads.suite import make_workload
+
+__all__ = [
+    "run_timeout_ablation",
+    "run_prealloc_sweep",
+    "run_bucket_hold_sweep",
+    "format_ablation",
+]
+
+
+def _run_gemini(workload_name: str, gemini: GeminiConfig, config: SimulationConfig, epochs=None) -> RunResult:
+    if epochs is not None:
+        config = replace(config, epochs=epochs)
+    config = replace(config, gemini=gemini)
+    return Simulation(
+        make_workload(workload_name), system="Gemini", config=config
+    ).run_single()
+
+
+def run_timeout_ablation(
+    workloads: list[str] | None = None,
+    config: SimulationConfig = FRAGMENTED,
+    epochs: int | None = None,
+) -> dict[str, dict[str, RunResult]]:
+    """Adaptive timeout (Algorithm 1) vs. fixed short/long timeouts.
+
+    A fixed long timeout hoards reserved memory (fragmentation pressure);
+    a fixed short one gives up bookings before the EMA can fill them.
+    Algorithm 1 adapts between them.  Fixed variants are modelled by
+    pinning the initial value with an effectively infinite adjustment
+    period.
+    """
+    workloads = workloads or ["Redis", "SVM"]
+    variants = {
+        "adaptive (Alg. 1)": GeminiConfig(),
+        "fixed short (1)": GeminiConfig(initial_timeout=1.0, adjust_period=10**6),
+        "fixed long (32)": GeminiConfig(initial_timeout=32.0, adjust_period=10**6),
+    }
+    results: dict[str, dict[str, RunResult]] = {}
+    for workload_name in workloads:
+        results[workload_name] = {
+            variant: _run_gemini(workload_name, gemini, config, epochs)
+            for variant, gemini in variants.items()
+        }
+    return results
+
+
+def run_prealloc_sweep(
+    workload_name: str = "Redis",
+    thresholds: list[int] | None = None,
+    config: SimulationConfig = FRAGMENTED,
+    epochs: int | None = None,
+) -> dict[str, dict[str, RunResult]]:
+    """Sweep EMA huge-preallocation threshold (paper default: 256)."""
+    thresholds = thresholds or [128, 256, 384, 496]
+    results = {
+        workload_name: {
+            f"threshold={value}": _run_gemini(
+                workload_name,
+                GeminiConfig(prealloc_threshold=value),
+                config,
+                epochs,
+            )
+            for value in thresholds
+        }
+    }
+    return results
+
+
+def run_bucket_hold_sweep(
+    workload_name: str = "Redis",
+    holds: list[float] | None = None,
+    config: SimulationConfig = FRAGMENTED,
+    epochs: int | None = None,
+) -> dict[str, dict[str, RunResult]]:
+    """Sweep how long the huge bucket retains freed well-aligned pages."""
+    holds = holds or [1.0, 4.0, 8.0, 16.0]
+    results = {
+        workload_name: {
+            f"hold={value:g}": _run_gemini(
+                workload_name, GeminiConfig(bucket_hold=value), config, epochs
+            )
+            for value in holds
+        }
+    }
+    return results
+
+
+def format_ablation(results: dict[str, dict[str, RunResult]], title: str) -> str:
+    table = {
+        workload: {variant: r.throughput for variant, r in row.items()}
+        for workload, row in results.items()
+    }
+    # Normalise each row to its first variant for readability.
+    for workload, row in table.items():
+        first = next(iter(row.values()))
+        if first:
+            table[workload] = {k: v / first for k, v in row.items()}
+    align = {
+        workload: {variant: r.well_aligned_rate for variant, r in row.items()}
+        for workload, row in results.items()
+    }
+    return "\n".join(
+        [
+            format_table(table, f"{title}: relative throughput"),
+            "",
+            format_table(align, f"{title}: well-aligned rate", fmt="{:.0%}"),
+        ]
+    )

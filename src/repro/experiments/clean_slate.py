@@ -1,0 +1,107 @@
+"""Clean-slate VM experiments: Figures 8-11 and Table 3 (Section 6.2).
+
+The full TLB-sensitive suite runs in a fresh VM under all eight systems,
+with and without memory fragmentation:
+
+* Figure 8 — throughput, normalised to Host-B-VM-B;
+* Figure 9 — mean latency (latency-reporting workloads);
+* Figure 10 — 99th-percentile latency;
+* Figure 11 — TLB misses, normalised to Gemini;
+* Table 3 — rates of well-aligned huge pages (fragmented memory).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    FRAGMENTED,
+    PAPER_SYSTEMS,
+    UNFRAGMENTED,
+    format_table,
+    normalize,
+    run_matrix,
+)
+from repro.sim.config import SimulationConfig
+from repro.sim.results import RunResult
+from repro.workloads.suite import LATENCY_SUITE, TLB_SENSITIVE_SUITE
+
+__all__ = [
+    "run_clean_slate",
+    "fig08_throughput",
+    "fig09_mean_latency",
+    "fig10_tail_latency",
+    "fig11_tlb_misses",
+    "table3_alignment",
+    "format_clean_slate",
+]
+
+#: Tables 3/4 report alignment for the coalescing systems only.
+ALIGNMENT_SYSTEMS = ["THP", "CA-paging", "Translation-Ranger", "HawkEye", "Ingens", "Gemini"]
+
+
+def run_clean_slate(
+    fragmented: bool = True,
+    workloads: list[str] | None = None,
+    systems: list[str] | None = None,
+    epochs: int | None = None,
+    config: SimulationConfig | None = None,
+) -> dict[str, dict[str, RunResult]]:
+    """Run the clean-slate matrix (suite x systems) for one memory state."""
+    if config is None:
+        config = FRAGMENTED if fragmented else UNFRAGMENTED
+    return run_matrix(
+        workloads or TLB_SENSITIVE_SUITE,
+        systems=systems or PAPER_SYSTEMS,
+        config=config,
+        epochs=epochs,
+    )
+
+
+def fig08_throughput(results: dict[str, dict[str, RunResult]]) -> dict[str, dict[str, float]]:
+    """Figure 8: throughput normalised to Host-B-VM-B."""
+    return normalize(results, "throughput")
+
+
+def _latency_rows(results: dict[str, dict[str, RunResult]]) -> dict[str, dict[str, RunResult]]:
+    return {w: row for w, row in results.items() if w in LATENCY_SUITE}
+
+
+def fig09_mean_latency(results: dict[str, dict[str, RunResult]]) -> dict[str, dict[str, float]]:
+    """Figure 9: mean latency normalised to Host-B-VM-B (lower is better)."""
+    return normalize(_latency_rows(results), "mean_latency")
+
+
+def fig10_tail_latency(results: dict[str, dict[str, RunResult]]) -> dict[str, dict[str, float]]:
+    """Figure 10: p99 latency normalised to Host-B-VM-B (lower is better)."""
+    return normalize(_latency_rows(results), "p99_latency")
+
+
+def fig11_tlb_misses(results: dict[str, dict[str, RunResult]]) -> dict[str, dict[str, float]]:
+    """Figure 11: TLB misses normalised to Gemini (higher = worse)."""
+    return normalize(results, "tlb_misses", baseline="Gemini")
+
+
+def table3_alignment(results: dict[str, dict[str, RunResult]]) -> dict[str, dict[str, float]]:
+    """Table 3: rates of well-aligned huge pages."""
+    return {
+        workload: {
+            system: row[system].well_aligned_rate
+            for system in ALIGNMENT_SYSTEMS
+            if system in row
+        }
+        for workload, row in results.items()
+    }
+
+
+def format_clean_slate(results: dict[str, dict[str, RunResult]], label: str = "") -> str:
+    parts = [
+        format_table(fig08_throughput(results), f"Figure 8{label}: throughput (norm. to Host-B-VM-B)"),
+        "",
+        format_table(fig09_mean_latency(results), f"Figure 9{label}: mean latency (norm. to Host-B-VM-B)"),
+        "",
+        format_table(fig10_tail_latency(results), f"Figure 10{label}: p99 latency (norm. to Host-B-VM-B)"),
+        "",
+        format_table(fig11_tlb_misses(results), f"Figure 11{label}: TLB misses (norm. to Gemini)", fmt="{:.1f}"),
+        "",
+        format_table(table3_alignment(results), f"Table 3{label}: well-aligned huge page rates", fmt="{:.0%}"),
+    ]
+    return "\n".join(parts)

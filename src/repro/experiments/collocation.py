@@ -1,0 +1,110 @@
+"""Figures 17-18: applicability and overhead with collocated VMs
+(Section 6.5).
+
+Two VMs share the server (two NUMA nodes); one runs a TLB-sensitive
+application, the other a non-TLB-sensitive one (NPB SP.D or Shore).
+Expected shape: Gemini still performs best overall, and for the
+non-TLB-sensitive workloads — where there is nothing to gain — its
+overhead is negligible (a few percent at most).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments.common import BASELINE, PAPER_SYSTEMS, format_table
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Simulation
+from repro.sim.results import RunResult
+from repro.workloads.suite import make_workload
+
+__all__ = ["DEFAULT_PAIRS", "run_collocation", "fig17_throughput", "fig18_mean_latency", "format_collocation"]
+
+#: (TLB-sensitive, non-TLB-sensitive) pairs collocated on the server.
+DEFAULT_PAIRS = [
+    ("Masstree", "Shore"),
+    ("Redis", "SP.D"),
+    ("CG.D", "Shore"),
+    ("Xapian", "SP.D"),
+]
+
+COLLOCATION_CONFIG = SimulationConfig(
+    epochs=16,
+    host_mib=1024,
+    guest_mib=256,
+    nodes=2,
+    fragment_guest=0.5,
+    fragment_host=0.5,
+)
+
+
+def run_collocation(
+    pairs: list[tuple[str, str]] | None = None,
+    systems: list[str] | None = None,
+    config: SimulationConfig = COLLOCATION_CONFIG,
+    epochs: int | None = None,
+) -> dict[str, dict[str, RunResult]]:
+    """Run each VM pair under each system; results keyed per workload
+    instance ("Masstree+Shore/Masstree" etc.)."""
+    pairs = pairs or DEFAULT_PAIRS
+    systems = systems or PAPER_SYSTEMS
+    if epochs is not None:
+        config = replace(config, epochs=epochs)
+    results: dict[str, dict[str, RunResult]] = {}
+    for sensitive, insensitive in pairs:
+        pair_label = f"{sensitive}+{insensitive}"
+        for system in systems:
+            workloads = [make_workload(sensitive), make_workload(insensitive)]
+            pair_results = Simulation(workloads, system=system, config=config).run()
+            for workload, result in zip((sensitive, insensitive), pair_results):
+                key = f"{pair_label}/{workload}"
+                results.setdefault(key, {})[system] = result
+    return results
+
+
+def _normalized(results, metric):
+    table = {}
+    for key, row in results.items():
+        base = getattr(row[BASELINE], metric)
+        table[key] = {
+            system: (getattr(r, metric) / base if base else 0.0)
+            for system, r in row.items()
+        }
+    return table
+
+
+def fig17_throughput(results: dict[str, dict[str, RunResult]]) -> dict[str, dict[str, float]]:
+    """Figure 17: collocated throughput normalised to Host-B-VM-B."""
+    return _normalized(results, "throughput")
+
+
+def fig18_mean_latency(results: dict[str, dict[str, RunResult]]) -> dict[str, dict[str, float]]:
+    """Figure 18: collocated mean latency normalised to Host-B-VM-B."""
+    return _normalized(results, "mean_latency")
+
+
+def gemini_overhead(results: dict[str, dict[str, RunResult]]) -> dict[str, float]:
+    """Gemini's throughput change on the non-TLB-sensitive workloads
+    (Section 6.5: at most a few percent)."""
+    overhead = {}
+    for key, row in results.items():
+        workload = key.split("/")[-1]
+        if workload in ("Shore", "SP.D") and "Gemini" in row:
+            base = row[BASELINE].throughput
+            overhead[key] = row["Gemini"].throughput / base - 1.0 if base else 0.0
+    return overhead
+
+
+def format_collocation(results: dict[str, dict[str, RunResult]]) -> str:
+    parts = [
+        format_table(fig17_throughput(results), "Figure 17: collocated throughput (norm. to Host-B-VM-B)"),
+        "",
+        format_table(fig18_mean_latency(results), "Figure 18: collocated mean latency (norm. to Host-B-VM-B)"),
+    ]
+    overhead = gemini_overhead(results)
+    if overhead:
+        parts.append("")
+        parts.append("Gemini throughput delta on non-TLB-sensitive workloads:")
+        for key, value in overhead.items():
+            parts.append(f"  {key}: {value:+.1%}")
+    return "\n".join(parts)

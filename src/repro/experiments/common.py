@@ -1,0 +1,117 @@
+"""Shared experiment infrastructure: standard configurations, run matrices
+and table formatting.
+
+The paper evaluates every system under two memory states (Section 6.1):
+*fragmented* (both guest and host memory driven to a high FMFI by the
+fragmenter program — the primary setting, since memory fragments quickly in
+multi-tenant clouds) and *without fragmentation*.  A physical machine is
+never perfectly pristine — boot-time and service allocations leave residual
+entropy — so the "unfragmented" configuration uses a light FMFI instead of
+zero (see DESIGN.md's substitution log).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.policies.registry import PAPER_SYSTEMS
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Simulation
+from repro.sim.results import RunResult
+from repro.workloads.base import Workload
+from repro.workloads.suite import make_workload
+
+__all__ = [
+    "FRAGMENTED",
+    "UNFRAGMENTED",
+    "BASELINE",
+    "PAPER_SYSTEMS",
+    "run_matrix",
+    "normalize",
+    "format_table",
+]
+
+#: The two memory states of Section 6.1.
+FRAGMENTED = SimulationConfig(epochs=16, fragment_guest=0.8, fragment_host=0.8)
+UNFRAGMENTED = SimulationConfig(epochs=16, fragment_guest=0.3, fragment_host=0.3)
+
+#: Figures normalise to this system.
+BASELINE = "Host-B-VM-B"
+
+
+def run_matrix(
+    workloads: list[str],
+    systems: list[str] | None = None,
+    config: SimulationConfig = FRAGMENTED,
+    primer_factory=None,
+    epochs: int | None = None,
+) -> dict[str, dict[str, RunResult]]:
+    """Run every (workload, system) pair; returns results[workload][system].
+
+    *primer_factory*, if given, builds a fresh primer workload per run (the
+    reused-VM scenario).  *epochs* overrides the config's epoch count (used
+    by the benchmarks to keep runtimes short).
+    """
+    systems = systems or PAPER_SYSTEMS
+    if epochs is not None:
+        config = replace(config, epochs=epochs)
+    results: dict[str, dict[str, RunResult]] = {}
+    for workload_name in workloads:
+        row: dict[str, RunResult] = {}
+        for system in systems:
+            workload = make_workload(workload_name)
+            primer: Workload | None = primer_factory() if primer_factory else None
+            simulation = Simulation(
+                workload, system=system, config=config, primer=primer
+            )
+            row[system] = simulation.run_single()
+        results[workload_name] = row
+    return results
+
+
+def normalize(
+    results: dict[str, dict[str, RunResult]],
+    metric: str,
+    baseline: str = BASELINE,
+) -> dict[str, dict[str, float]]:
+    """Per-workload values of *metric* normalised to *baseline*'s value.
+
+    *metric* is any numeric property of :class:`RunResult` (``throughput``,
+    ``mean_latency``, ``p99_latency``, ``tlb_misses``...).
+    """
+    table: dict[str, dict[str, float]] = {}
+    for workload_name, row in results.items():
+        base_value = getattr(row[baseline], metric)
+        table[workload_name] = {
+            system: (getattr(result, metric) / base_value if base_value else 0.0)
+            for system, result in row.items()
+        }
+    return table
+
+
+def format_table(
+    table: dict[str, dict[str, float]],
+    title: str = "",
+    fmt: str = "{:.2f}",
+) -> str:
+    """Render a workload x system table the way the paper's tables read."""
+    if not table:
+        return title
+    systems = list(next(iter(table.values())).keys())
+    width = max(len(name) for name in table) + 1
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * width + "  ".join(f"{s:>12s}" for s in systems)
+    lines.append(header)
+    for workload_name, row in table.items():
+        cells = "  ".join(f"{fmt.format(row[s]):>12s}" for s in systems)
+        lines.append(f"{workload_name:<{width}}" + cells)
+    # Geometric-mean style summary row (arithmetic mean, as the paper's
+    # "on average" statements use).
+    means = {
+        s: sum(row[s] for row in table.values()) / len(table) for s in systems
+    }
+    cells = "  ".join(f"{fmt.format(means[s]):>12s}" for s in systems)
+    lines.append(f"{'average':<{width}}" + cells)
+    return "\n".join(lines)

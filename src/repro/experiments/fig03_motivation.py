@@ -1,0 +1,64 @@
+"""Figure 3 and Table 1: the huge page misalignment problem.
+
+Four workloads (two throughput-oriented PARSEC applications, two
+latency-sensitive TailBench applications) under all eight systems, with
+fragmented memory.  Table 1 reports the rate of well-aligned huge pages;
+Figure 3 the normalised performance.  Expected shape: uncoordinated
+coalescing aligns well under half of its huge pages and converts little of
+it into performance; Gemini aligns the majority and wins.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    FRAGMENTED,
+    PAPER_SYSTEMS,
+    format_table,
+    normalize,
+    run_matrix,
+)
+from repro.sim.config import SimulationConfig
+from repro.sim.results import RunResult
+from repro.workloads.suite import MOTIVATION_SUITE
+
+__all__ = ["run_fig03", "table1_alignment", "format_fig03"]
+
+#: Table 1 reports alignment only for the coalescing systems.
+TABLE1_SYSTEMS = ["THP", "CA-paging", "Translation-Ranger", "HawkEye", "Ingens", "Gemini"]
+
+
+def run_fig03(
+    config: SimulationConfig = FRAGMENTED,
+    epochs: int | None = None,
+    workloads: list[str] | None = None,
+) -> dict[str, dict[str, RunResult]]:
+    """Run the motivation matrix: 4 workloads x 8 systems."""
+    return run_matrix(
+        workloads or MOTIVATION_SUITE,
+        systems=PAPER_SYSTEMS,
+        config=config,
+        epochs=epochs,
+    )
+
+
+def table1_alignment(results: dict[str, dict[str, RunResult]]) -> dict[str, dict[str, float]]:
+    """Table 1: rates of well-aligned huge pages."""
+    return {
+        workload: {
+            system: row[system].well_aligned_rate
+            for system in TABLE1_SYSTEMS
+            if system in row
+        }
+        for workload, row in results.items()
+    }
+
+
+def format_fig03(results: dict[str, dict[str, RunResult]]) -> str:
+    throughput = normalize(results, "throughput")
+    alignment = table1_alignment(results)
+    parts = [
+        format_table(throughput, "Figure 3: throughput (normalised to Host-B-VM-B)"),
+        "",
+        format_table(alignment, "Table 1: rates of well-aligned huge pages", fmt="{:.0%}"),
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,8 @@
+"""Hypervisor substrate: VMs and the virtualized platform (host memory,
+EPT management, nested fault paths)."""
+
+from repro.hypervisor.balloon import BalloonDriver
+from repro.hypervisor.platform import Platform
+from repro.hypervisor.vm import PROCESS, VM
+
+__all__ = ["BalloonDriver", "PROCESS", "Platform", "VM"]

@@ -1,0 +1,151 @@
+"""Memory ballooning and its interplay with huge pages (Section 8).
+
+The paper's future-work section notes that mechanisms used under host
+memory pressure — ballooning, deduplication, swapping — may demote the
+huge pages Gemini creates, and states the current design's mitigation:
+*"we only allow misaligned huge pages and infrequently used huge pages to
+be demoted when system is under memory pressure."*
+
+This module implements a virtio-balloon-style driver so that interplay can
+be studied:
+
+* :meth:`BalloonDriver.inflate` pins free guest-physical pages (so the
+  guest stops using them) and releases their host backing.  Releasing a
+  page that lies under a huge EPT entry forces a *demotion* of that host
+  huge page first — the hazard the paper describes.
+* Victim selection is pluggable: the ``naive`` policy takes the lowest
+  free guest-physical pages regardless of backing (splintering well-
+  aligned huge pages), while the ``alignment-aware`` policy implements the
+  paper's rule — prefer pages whose host backing is base pages or
+  mis-aligned huge pages, and only demote well-aligned huge pages as a
+  last resort.
+"""
+
+from __future__ import annotations
+
+from repro.mem.buddy import AllocationError
+from repro.mem.layout import PAGES_PER_HUGE
+from repro.os.mm import PROCESS
+from repro.hypervisor.platform import Platform
+from repro.hypervisor.vm import VM
+
+__all__ = ["BalloonDriver"]
+
+
+class BalloonDriver:
+    """Per-VM balloon: returns guest-free memory to the host."""
+
+    def __init__(
+        self, platform: Platform, vm: VM, alignment_aware: bool = True
+    ) -> None:
+        self.platform = platform
+        self.vm = vm
+        #: Gemini's pressure rule: spare well-aligned huge pages.
+        self.alignment_aware = alignment_aware
+        self._ballooned: list[int] = []
+        self.demoted_huge_pages = 0
+        self.demoted_aligned_huge_pages = 0
+
+    # ------------------------------------------------------------------
+    # Inflation
+    # ------------------------------------------------------------------
+
+    def inflate(self, npages: int) -> int:
+        """Balloon up to *npages* guest pages; return host pages reclaimed.
+
+        Pages are taken from the guest's free memory (a real balloon asks
+        the guest allocator), so the workload's mappings are untouched;
+        only the *host backing* of the ballooned pages is released.
+        """
+        reclaimed = 0
+        for gpn in self._select_victims(npages):
+            self._ballooned.append(gpn)
+            reclaimed += self._release_host_backing(gpn)
+        return reclaimed
+
+    def deflate(self) -> int:
+        """Return every ballooned page to the guest; the host re-backs
+        them lazily on the next touch (EPT fault)."""
+        released = len(self._ballooned)
+        for gpn in self._ballooned:
+            self.vm.gpa_space.free(gpn, 0)
+        self._ballooned.clear()
+        return released
+
+    @property
+    def inflated_pages(self) -> int:
+        return len(self._ballooned)
+
+    # ------------------------------------------------------------------
+    # Victim selection
+    # ------------------------------------------------------------------
+
+    def _select_victims(self, npages: int) -> list[int]:
+        if not self.alignment_aware:
+            return self._take_lowest_free(npages)
+        ept = self.platform.ept(self.vm.id)
+        guest_table = self.vm.guest.table(PROCESS)
+        guest_huge_targets = {gp for _, gp in guest_table.huge_mappings()}
+
+        def backing_class(gpn: int) -> int:
+            """0 = base-backed (reclaims a frame, breaks nothing),
+            1 = unbacked (reclaims nothing), 2 = mis-aligned host huge,
+            3 = well-aligned host huge (touch last)."""
+            gpregion = gpn // PAGES_PER_HUGE
+            if not ept.is_huge(gpregion):
+                return 0 if ept.translate(gpn) is not None else 1
+            return 3 if gpregion in guest_huge_targets else 2
+
+        candidates = self._free_pages()
+        candidates.sort(key=lambda gpn: (backing_class(gpn), gpn))
+        victims = []
+        for gpn in candidates[:npages]:
+            try:
+                self.vm.gpa_space.alloc_at(gpn, 0)
+            except AllocationError:  # pragma: no cover - raced reservation
+                continue
+            victims.append(gpn)
+        return victims
+
+    def _take_lowest_free(self, npages: int) -> list[int]:
+        victims = []
+        for _ in range(npages):
+            try:
+                victims.append(self.vm.gpa_space.alloc(0))
+            except AllocationError:
+                break
+        return victims
+
+    def _free_pages(self) -> list[int]:
+        pages = []
+        for start, count in self.vm.gpa_space.free_regions():
+            pages.extend(range(start, start + count))
+        return pages
+
+    # ------------------------------------------------------------------
+    # Host side
+    # ------------------------------------------------------------------
+
+    def _release_host_backing(self, gpn: int) -> int:
+        """Free the host frame behind *gpn*, demoting a huge EPT entry if
+        one covers it."""
+        host = self.platform.host
+        ept = self.platform.ept(self.vm.id)
+        gpregion = gpn // PAGES_PER_HUGE
+        if ept.is_huge(gpregion):
+            guest_table = self.vm.guest.table(PROCESS)
+            aligned = any(
+                gp == gpregion for _, gp in guest_table.huge_mappings()
+            )
+            host.demote(self.vm.id, gpregion)
+            self.demoted_huge_pages += 1
+            if aligned:
+                self.demoted_aligned_huge_pages += 1
+        if ept.translate(gpn) is None:
+            return 0
+        hpn = ept.unmap_base(gpn)
+        owner = host.owner_of_frame(hpn)
+        if owner is not None:
+            del host._rmap_base[hpn]
+        host.memory.free(hpn, 0)
+        return 1

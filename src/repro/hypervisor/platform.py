@@ -1,0 +1,115 @@
+"""The virtualized platform: host memory, the host MM layer (EPT
+management), and the VMs consolidated on the server.
+
+:meth:`Platform.touch` is the simulator's memory-access entry point: it
+drives the guest page-fault path (GVA -> GPA) and then the EPT-violation
+path (GPA -> HPA), exactly the nesting real KVM demand paging performs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.mem.layout import MIB, PAGE_SIZE, PAGES_PER_HUGE
+from repro.mem.physmem import PhysicalMemory
+from repro.os.mm import MemoryLayer
+from repro.os.vma import VMA
+from repro.hypervisor.vm import PROCESS, VM
+from repro.policies.base import HugePagePolicy
+
+__all__ = ["Platform"]
+
+
+class Platform:
+    """Host machine running one or more VMs under nested paging."""
+
+    def __init__(
+        self,
+        host_pages: int,
+        host_policy: HugePagePolicy,
+        nodes: int = 1,
+    ) -> None:
+        self.memory = PhysicalMemory(host_pages, nodes=nodes)
+        self.host = MemoryLayer("host", self.memory, host_policy)
+        self.vms: dict[int, VM] = {}
+        self._next_vm_id = 0
+        #: Optional callback fired after every demand fault (both layers);
+        #: the simulation engine hooks OS allocation noise in here so that
+        #: kernel/slab-style allocations interleave with workload faults.
+        self.fault_hook = None
+
+    @classmethod
+    def with_mib(
+        cls, host_mib: int, host_policy: HugePagePolicy, nodes: int = 1
+    ) -> "Platform":
+        return cls(host_mib * MIB // PAGE_SIZE, host_policy, nodes=nodes)
+
+    # ------------------------------------------------------------------
+    # VM lifecycle
+    # ------------------------------------------------------------------
+
+    def create_vm(
+        self, guest_pages: int, guest_policy: HugePagePolicy, name: str = ""
+    ) -> VM:
+        vm = VM(self._next_vm_id, guest_pages, guest_policy, name=name)
+        self._next_vm_id += 1
+        self.vms[vm.id] = vm
+        # The guest layer can ask whether a guest-physical region it is
+        # about to free was well-aligned (backed by a host huge page);
+        # Gemini's huge bucket keys off this.
+        ept = self.host.table(vm.id)
+        vm.guest.alignment_probe = ept.is_huge
+        return vm
+
+    def create_vm_mib(
+        self, guest_mib: int, guest_policy: HugePagePolicy, name: str = ""
+    ) -> VM:
+        return self.create_vm(guest_mib * MIB // PAGE_SIZE, guest_policy, name=name)
+
+    # ------------------------------------------------------------------
+    # Memory access path
+    # ------------------------------------------------------------------
+
+    def touch(self, vm: VM, vpn: int) -> int:
+        """Access guest-virtual page *vpn*: fault both layers as needed.
+
+        Returns the host frame ultimately backing the page.
+        """
+        faulted = False
+        gpn = vm.translate(vpn)
+        if gpn is None:
+            vma = vm.address_space.find(vpn)
+            if vma is None:
+                raise ValueError(f"{vm.name}: touch of unmapped vpn {vpn}")
+            full = vma.covers_full_region(vpn // PAGES_PER_HUGE)
+            gpn = vm.guest.fault(PROCESS, vpn, full_region=full)
+            faulted = True
+        hpn = self.host.translate(vm.id, gpn)
+        if hpn is None:
+            hpn = self.host.fault(vm.id, gpn, full_region=True)
+            faulted = True
+        if faulted and self.fault_hook is not None:
+            self.fault_hook(vm)
+        return hpn
+
+    def touch_vma(self, vm: VM, vma: VMA, start: int = 0, npages: int | None = None) -> None:
+        """Touch a slice of *vma* (offsets relative to its start)."""
+        count = vma.npages - start if npages is None else npages
+        for vpn in range(vma.start + start, vma.start + start + count):
+            self.touch(vm, vpn)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def ept(self, vm: VM | int):
+        """The VM's EPT (GPA -> HPA page table); accepts a VM or its id."""
+        vm_id = vm.id if isinstance(vm, VM) else vm
+        return self.host.table(vm_id)
+
+    def iter_vms(self) -> Iterator[VM]:
+        yield from self.vms.values()
+
+    @property
+    def host_pages(self) -> int:
+        return self.memory.total_pages

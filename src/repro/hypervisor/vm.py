@@ -1,0 +1,80 @@
+"""Virtual machine abstraction.
+
+A :class:`VM` bundles a guest-physical address space (the memory QEMU/KVM
+gives the guest), a guest :class:`~repro.os.mm.MemoryLayer` running the
+guest OS's huge-page policy, and the process address space of the workload
+(the paper runs one workload per VM).
+"""
+
+from __future__ import annotations
+
+from repro.mem.layout import MIB, PAGE_SIZE, PAGES_PER_HUGE
+from repro.mem.physmem import PhysicalMemory
+from repro.os.mm import PROCESS, MemoryLayer
+from repro.os.vma import VMA, AddressSpace
+from repro.policies.base import HugePagePolicy
+
+__all__ = ["PROCESS", "VM"]
+
+
+class VM:
+    """One virtual machine: guest-physical memory, guest MM, one process."""
+
+    def __init__(
+        self,
+        vm_id: int,
+        guest_pages: int,
+        guest_policy: HugePagePolicy,
+        name: str = "",
+    ) -> None:
+        self.id = vm_id
+        self.name = name or f"vm{vm_id}"
+        self.gpa_space = PhysicalMemory(guest_pages)
+        self.guest = MemoryLayer(
+            f"guest:{self.name}", self.gpa_space, guest_policy, virtualized=True
+        )
+        self.address_space = AddressSpace()
+        self.guest.region_eligible = self._region_in_one_vma
+        self.guest.vma_bounds = self._vma_bounds
+
+    def _region_in_one_vma(self, client: int, vregion: int) -> bool:
+        vma = self.address_space.find(vregion * PAGES_PER_HUGE)
+        return vma is not None and vma.covers_full_region(vregion)
+
+    def _vma_bounds(self, client: int, vpn: int) -> tuple[int, int] | None:
+        vma = self.address_space.find(vpn)
+        return (vma.start, vma.end) if vma is not None else None
+
+    @classmethod
+    def with_mib(
+        cls, vm_id: int, guest_mib: int, guest_policy: HugePagePolicy, name: str = ""
+    ) -> "VM":
+        return cls(vm_id, guest_mib * MIB // PAGE_SIZE, guest_policy, name=name)
+
+    # ------------------------------------------------------------------
+    # Process memory operations (the workload-facing API)
+    # ------------------------------------------------------------------
+
+    def mmap(self, npages: int, name: str) -> VMA:
+        """Map a new anonymous region in the workload's address space."""
+        return self.address_space.mmap(npages, name)
+
+    def munmap(self, name: str) -> VMA:
+        """Unmap a region: guest PTEs are torn down and guest-physical
+        frames are freed, but — as in real virtualized systems — the host
+        is *not* notified, so EPT mappings and host frames stay in place
+        (Section 6.3's reused-VM scenario builds on this)."""
+        vma = self.address_space.munmap(name)
+        self.guest.unmap_range(PROCESS, vma.start, vma.npages)
+        return vma
+
+    def table(self):
+        """The process page table (GVA -> GPA)."""
+        return self.guest.table(PROCESS)
+
+    def translate(self, vpn: int) -> int | None:
+        return self.guest.translate(PROCESS, vpn)
+
+    @property
+    def guest_pages(self) -> int:
+        return self.gpa_space.total_pages

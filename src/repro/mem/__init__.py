@@ -1,0 +1,50 @@
+"""Physical memory substrate: layout constants, buddy allocator, NUMA-aware
+physical memory, and fragmentation tooling (FMFI metric + fragmenter)."""
+
+from repro.mem.buddy import AllocationError, BuddyAllocator
+from repro.mem.fragmentation import Fragmenter, fmfi
+from repro.mem.layout import (
+    GIB,
+    HUGE_ORDER,
+    HUGE_PAGE_SIZE,
+    KIB,
+    MAX_ORDER,
+    MIB,
+    PAGE_SIZE,
+    PAGES_PER_HUGE,
+    bytes_to_pages,
+    huge_align_down,
+    huge_align_up,
+    huge_region_frames,
+    huge_region_index,
+    is_huge_aligned,
+    order_for_pages,
+    order_pages,
+    pages_to_bytes,
+)
+from repro.mem.physmem import PhysicalMemory
+
+__all__ = [
+    "AllocationError",
+    "BuddyAllocator",
+    "Fragmenter",
+    "fmfi",
+    "GIB",
+    "HUGE_ORDER",
+    "HUGE_PAGE_SIZE",
+    "KIB",
+    "MAX_ORDER",
+    "MIB",
+    "PAGE_SIZE",
+    "PAGES_PER_HUGE",
+    "PhysicalMemory",
+    "bytes_to_pages",
+    "huge_align_down",
+    "huge_align_up",
+    "huge_region_frames",
+    "huge_region_index",
+    "is_huge_aligned",
+    "order_for_pages",
+    "order_pages",
+    "pages_to_bytes",
+]

@@ -1,0 +1,307 @@
+"""Binary buddy allocator.
+
+A faithful model of the Linux buddy system the paper builds on (Section 5):
+free memory is grouped into order-*x* free lists where a block in the
+order-*x* list holds ``2**x`` contiguous, ``2**x``-aligned base pages, with
+``MAX_ORDER == 11`` (4 MiB blocks).
+
+Beyond the standard ``alloc``/``free`` interface this allocator supports the
+*targeted* operations Gemini's huge-booking and enhanced memory allocator
+(EMA) require:
+
+* :meth:`BuddyAllocator.alloc_at` — claim one specific, aligned block,
+  splitting larger free blocks as needed (used to allocate at a computed
+  GPA/HPA so a mis-aligned huge page at the other layer becomes
+  well-aligned).
+* :meth:`BuddyAllocator.alloc_range` / :meth:`BuddyAllocator.free_range` —
+  claim or release an arbitrary page range by decomposing it into maximal
+  aligned blocks (used by the booking component to reserve huge-page-sized
+  regions and by the fragmenter tool).
+
+Addresses are base-page frame numbers (see :mod:`repro.mem.layout`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+from repro.mem.layout import MAX_ORDER
+
+__all__ = ["AllocationError", "BuddyAllocator"]
+
+
+class AllocationError(Exception):
+    """Raised when an allocation request cannot be satisfied."""
+
+
+class _FreeList:
+    """One buddy free list: a set of block-start frames with O(log n) min.
+
+    The heap may contain stale entries (blocks that were since removed);
+    entries are validated against the set lazily on pop.
+    """
+
+    def __init__(self) -> None:
+        self.blocks: set[int] = set()
+        self._heap: list[int] = []
+
+    def add(self, start: int) -> None:
+        self.blocks.add(start)
+        heapq.heappush(self._heap, start)
+
+    def remove(self, start: int) -> None:
+        self.blocks.remove(start)
+
+    def pop_lowest(self) -> int:
+        """Remove and return the lowest-addressed block start."""
+        while self._heap:
+            start = heapq.heappop(self._heap)
+            if start in self.blocks:
+                self.blocks.remove(start)
+                return start
+        raise AllocationError("free list empty")
+
+    def __contains__(self, start: int) -> bool:
+        return start in self.blocks
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __bool__(self) -> bool:
+        return bool(self.blocks)
+
+
+class BuddyAllocator:
+    """Binary buddy allocator over ``[base, base + total_pages)``.
+
+    ``base`` and ``total_pages`` need not be power-of-two aligned; the
+    initial free space is decomposed into maximal aligned blocks exactly the
+    way Linux seeds its zones.
+    """
+
+    def __init__(self, total_pages: int, base: int = 0) -> None:
+        if total_pages <= 0:
+            raise ValueError(f"non-positive memory size: {total_pages}")
+        if base < 0:
+            raise ValueError(f"negative base frame: {base}")
+        self.base = base
+        self.total_pages = total_pages
+        self.free_pages = 0
+        self._free: list[_FreeList] = [_FreeList() for _ in range(MAX_ORDER + 1)]
+        self._seed_free_space(base, total_pages)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _seed_free_space(self, start: int, npages: int) -> None:
+        for block, order in _decompose(start, npages):
+            self._insert(block, order)
+
+    def _insert(self, start: int, order: int) -> None:
+        self._free[order].add(start)
+        self.free_pages += 1 << order
+
+    def _remove(self, start: int, order: int) -> None:
+        self._free[order].remove(start)
+        self.free_pages -= 1 << order
+
+    # ------------------------------------------------------------------
+    # Standard allocation interface
+    # ------------------------------------------------------------------
+
+    def alloc(self, order: int = 0) -> int:
+        """Allocate a ``2**order``-page aligned block; return its start frame.
+
+        Splits the lowest-addressed larger block when the exact order is
+        exhausted, mirroring Linux's ``__rmqueue_smallest``.  Raises
+        :class:`AllocationError` when no block of sufficient order is free.
+        """
+        self._check_order(order)
+        for source in range(order, MAX_ORDER + 1):
+            if self._free[source]:
+                start = self._free[source].pop_lowest()
+                self.free_pages -= 1 << source
+                return self._split_to(start, source, order)
+        raise AllocationError(f"no free block of order >= {order}")
+
+    def _split_to(self, start: int, source: int, order: int) -> int:
+        """Split block (start, source) down to *order*; free the remainders."""
+        while source > order:
+            source -= 1
+            buddy = start + (1 << source)
+            self._insert(buddy, source)
+        return start
+
+    def free(self, start: int, order: int = 0) -> None:
+        """Return block (start, order) to the allocator, merging buddies."""
+        self._check_order(order)
+        if start % (1 << order) != 0:
+            raise ValueError(f"block start {start} not aligned to order {order}")
+        if not self._within(start, 1 << order):
+            raise ValueError(f"block ({start}, order {order}) outside memory")
+        if self._overlaps_free(start, 1 << order):
+            raise ValueError(f"double free of block ({start}, order {order})")
+        while order < MAX_ORDER:
+            buddy = start ^ (1 << order)
+            if buddy not in self._free[order] or not self._within(buddy, 1 << order):
+                break
+            self._remove(buddy, order)
+            start = min(start, buddy)
+            order += 1
+        self._insert(start, order)
+
+    # ------------------------------------------------------------------
+    # Targeted allocation (booking / EMA support)
+    # ------------------------------------------------------------------
+
+    def alloc_at(self, start: int, order: int = 0) -> None:
+        """Claim the specific block (start, order), splitting as needed.
+
+        Raises :class:`AllocationError` if any page of the block is already
+        allocated, and :class:`ValueError` on misaligned requests.
+        """
+        self._check_order(order)
+        if start % (1 << order) != 0:
+            raise ValueError(f"block start {start} not aligned to order {order}")
+        container = self._containing_free_block(start, order)
+        if container is None:
+            raise AllocationError(f"block ({start}, order {order}) not fully free")
+        cstart, corder = container
+        self._remove(cstart, corder)
+        # Split the container, keeping the half containing the target and
+        # freeing the other half, until we reach the requested block.
+        while corder > order:
+            corder -= 1
+            low, high = cstart, cstart + (1 << corder)
+            if start < high:
+                self._insert(high, corder)
+                cstart = low
+            else:
+                self._insert(low, corder)
+                cstart = high
+
+    def alloc_range(self, start: int, npages: int) -> None:
+        """Claim the exact page range ``[start, start + npages)``.
+
+        The whole range must currently be free; on failure nothing is
+        allocated.
+        """
+        if not self.range_is_free(start, npages):
+            raise AllocationError(f"range ({start}, {npages} pages) not fully free")
+        for block, order in _decompose(start, npages):
+            self.alloc_at(block, order)
+
+    def free_range(self, start: int, npages: int) -> None:
+        """Release the exact page range ``[start, start + npages)``."""
+        for block, order in _decompose(start, npages):
+            self.free(block, order)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def is_free(self, frame: int) -> bool:
+        """True if base frame *frame* currently belongs to a free block."""
+        return self._containing_free_block(frame, 0) is not None
+
+    def range_is_free(self, start: int, npages: int) -> bool:
+        """True if every page in ``[start, start + npages)`` is free."""
+        if npages <= 0 or not self._within(start, npages):
+            return False
+        frame = start
+        end = start + npages
+        while frame < end:
+            container = self._containing_free_block(frame, 0)
+            if container is None:
+                return False
+            cstart, corder = container
+            frame = cstart + (1 << corder)
+        return True
+
+    def free_blocks(self) -> Iterator[tuple[int, int]]:
+        """Yield (start, order) for every free block, unsorted."""
+        for order in range(MAX_ORDER + 1):
+            for start in self._free[order].blocks:
+                yield start, order
+
+    def free_block_counts(self) -> list[int]:
+        """Number of free blocks at each order, index 0..MAX_ORDER."""
+        return [len(fl) for fl in self._free]
+
+    def free_regions(self) -> list[tuple[int, int]]:
+        """Merged, sorted list of maximal free regions as (start, npages).
+
+        Adjacent free blocks that are not buddies (and therefore stay
+        separate in the free lists) are merged here; this is the view the
+        Gemini contiguity list is built from.
+        """
+        blocks = sorted((s, 1 << o) for s, o in self.free_blocks())
+        regions: list[tuple[int, int]] = []
+        for start, size in blocks:
+            if regions and regions[-1][0] + regions[-1][1] == start:
+                prev_start, prev_size = regions[-1]
+                regions[-1] = (prev_start, prev_size + size)
+            else:
+                regions.append((start, size))
+        return regions
+
+    def largest_free_order(self) -> int:
+        """Largest order with a free block, or -1 if memory is exhausted."""
+        for order in range(MAX_ORDER, -1, -1):
+            if self._free[order]:
+                return order
+        return -1
+
+    def free_pages_at_or_above(self, order: int) -> int:
+        """Free pages sitting in blocks of at least the given order."""
+        self._check_order(order)
+        return sum((1 << o) * len(self._free[o]) for o in range(order, MAX_ORDER + 1))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _within(self, start: int, npages: int) -> bool:
+        return start >= self.base and start + npages <= self.base + self.total_pages
+
+    def _containing_free_block(self, start: int, order: int) -> tuple[int, int] | None:
+        """Find the free block fully containing block (start, order)."""
+        for corder in range(order, MAX_ORDER + 1):
+            cstart = start - (start % (1 << corder))
+            if cstart in self._free[corder]:
+                return cstart, corder
+        return None
+
+    def _overlaps_free(self, start: int, npages: int) -> bool:
+        frame = start
+        end = start + npages
+        while frame < end:
+            container = self._containing_free_block(frame, 0)
+            if container is not None:
+                return True
+            frame += 1
+        return False
+
+    @staticmethod
+    def _check_order(order: int) -> None:
+        if not 0 <= order <= MAX_ORDER:
+            raise ValueError(f"order out of range [0, {MAX_ORDER}]: {order}")
+
+
+def _decompose(start: int, npages: int) -> Iterator[tuple[int, int]]:
+    """Decompose an arbitrary page range into maximal aligned buddy blocks."""
+    if npages < 0:
+        raise ValueError(f"negative page count: {npages}")
+    frame = start
+    remaining = npages
+    while remaining > 0:
+        # Largest order allowed by both the alignment of `frame` and the
+        # number of remaining pages.
+        align_order = (frame & -frame).bit_length() - 1 if frame else MAX_ORDER
+        size_order = remaining.bit_length() - 1
+        order = min(align_order, size_order, MAX_ORDER)
+        yield frame, order
+        frame += 1 << order
+        remaining -= 1 << order

@@ -1,0 +1,97 @@
+"""Memory fragmentation: the FMFI metric and the fragmenter tool.
+
+The paper measures fragmentation with the *free memory fragmentation index*
+(FMFI) from Ingens, and its evaluation (Section 6.1) uses a purpose-built
+program to drive guest- and host-level memory to a target FMFI before each
+fragmented-memory experiment.  Both are reproduced here.
+
+FMFI is Gorman's *unusable free space index* evaluated at the huge-page
+order: the fraction of free memory that sits in blocks too small to satisfy
+a huge-page allocation.  ``FMFI == 0`` means every free page is part of some
+>= 2 MiB free block; ``FMFI == 1`` means no huge page can be allocated at
+all.  The paper's EMA treats ``FMFI <= 0.5`` as "low fragmentation"
+(Section 4.2, huge preallocation).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.mem.buddy import AllocationError
+from repro.mem.layout import HUGE_ORDER, PAGES_PER_HUGE, huge_align_up
+from repro.mem.physmem import PhysicalMemory
+
+__all__ = ["fmfi", "Fragmenter"]
+
+
+def fmfi(memory: PhysicalMemory, order: int = HUGE_ORDER) -> float:
+    """Free memory fragmentation index of *memory* at the given order.
+
+    Returns a value in ``[0.0, 1.0]``; 0.0 for fully-defragmented (or fully
+    allocated) memory.
+    """
+    free = memory.free_pages
+    if free == 0:
+        return 0.0
+    usable = memory.free_pages_at_or_above(order)
+    return 1.0 - usable / free
+
+
+class Fragmenter:
+    """Drives a :class:`PhysicalMemory` to a target FMFI.
+
+    The tool pins one base page in the middle of free 2 MiB-aligned regions,
+    which destroys the region's huge-order free block while wasting only one
+    page, until the requested FMFI is reached.  :meth:`release` undoes all
+    pinning (the buddy allocator re-merges the blocks).
+    """
+
+    def __init__(self, memory: PhysicalMemory, seed: int = 0) -> None:
+        self.memory = memory
+        self._rng = random.Random(seed)
+        self._pinned: list[int] = []
+
+    @property
+    def pinned_pages(self) -> int:
+        """Number of pages currently pinned by the fragmenter."""
+        return len(self._pinned)
+
+    def fragment(self, target_fmfi: float) -> float:
+        """Pin pages until ``fmfi(memory) >= target_fmfi``; return the FMFI.
+
+        Raises :class:`ValueError` for targets outside ``[0, 1)``.  The
+        achieved FMFI may exceed the target slightly (pinning is quantised
+        to one huge region at a time) and may fall short only if every free
+        huge region has already been destroyed.
+        """
+        if not 0.0 <= target_fmfi < 1.0:
+            raise ValueError(f"target FMFI out of range [0, 1): {target_fmfi}")
+        candidates = self._free_huge_chunks()
+        self._rng.shuffle(candidates)
+        for chunk_start in candidates:
+            if fmfi(self.memory) >= target_fmfi:
+                break
+            pin = chunk_start + PAGES_PER_HUGE // 2
+            try:
+                self.memory.alloc_at(pin, order=0)
+            except AllocationError:
+                continue
+            self._pinned.append(pin)
+        return fmfi(self.memory)
+
+    def release(self) -> None:
+        """Unpin every page pinned by this fragmenter."""
+        for frame in self._pinned:
+            self.memory.free(frame, order=0)
+        self._pinned.clear()
+
+    def _free_huge_chunks(self) -> list[int]:
+        """Start frames of all fully-free, huge-aligned 2 MiB chunks."""
+        chunks: list[int] = []
+        for start, npages in self.memory.free_regions():
+            first = huge_align_up(start)
+            end = start + npages
+            while first + PAGES_PER_HUGE <= end:
+                chunks.append(first)
+                first += PAGES_PER_HUGE
+        return chunks

@@ -1,0 +1,22 @@
+"""Metrics: cost accounting, huge-page alignment analysis, and the
+performance model that converts simulation counters into the paper's
+reported statistics."""
+
+from repro.metrics.alignment import (
+    AlignmentReport,
+    RegionClass,
+    RegionKind,
+    alignment_report,
+    classify_region,
+)
+from repro.metrics.counters import Charge, CostLedger
+
+__all__ = [
+    "AlignmentReport",
+    "Charge",
+    "CostLedger",
+    "RegionClass",
+    "RegionKind",
+    "alignment_report",
+    "classify_region",
+]

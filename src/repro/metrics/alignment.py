@@ -1,0 +1,154 @@
+"""Huge-page alignment analysis.
+
+The paper's central observation (Section 2.2): a huge page reduces address
+translation overhead only when the guest and the host both map the same
+data with huge pages — a huge GVP backed by a huge GPP backed by a huge
+HPP.  This module computes, from the guest page table and the EPT:
+
+* the *rate of well-aligned huge pages* reported in Tables 1, 3 and 4; and
+* the per-region translation classification the TLB model consumes — an
+  aligned region needs one TLB entry, every other combination is
+  splintered into base-page entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.mem.layout import PAGES_PER_HUGE
+from repro.paging.pagetable import PageTable
+from repro.paging.walker import nested_walk_cost
+
+__all__ = ["RegionKind", "RegionClass", "AlignmentReport", "alignment_report", "classify_region"]
+
+
+class RegionKind(Enum):
+    """Translation classification of one 2 MiB guest-virtual region."""
+
+    ALIGNED_HUGE = "aligned-huge"      # guest huge + host huge: 1 TLB entry
+    GUEST_HUGE_ONLY = "guest-huge"     # guest huge over base EPT: splintered
+    HOST_HUGE_ONLY = "host-huge"       # guest base over huge EPT: splintered
+    BASE_ONLY = "base"                 # base pages at both layers
+
+
+#: Per-miss page-walk cycles by region kind.  Misaligned huge pages keep
+#: the shorter walk of their huge dimension even though they splinter in
+#: the TLB (Section 2.2).
+WALK_CYCLES = {
+    RegionKind.ALIGNED_HUGE: nested_walk_cost(True, True).cycles,
+    RegionKind.GUEST_HUGE_ONLY: nested_walk_cost(True, False).cycles,
+    RegionKind.HOST_HUGE_ONLY: nested_walk_cost(False, True).cycles,
+    RegionKind.BASE_ONLY: nested_walk_cost(False, False).cycles,
+}
+
+
+@dataclass
+class RegionClass:
+    """TLB demand of one guest-virtual region: entries needed and the pages
+    they cover, per kind."""
+
+    kind: RegionKind
+    entries: int
+    pages: int
+
+    @property
+    def walk_cycles(self) -> float:
+        return WALK_CYCLES[self.kind]
+
+
+def classify_region(guest_table: PageTable, ept: PageTable, vregion: int) -> list[RegionClass]:
+    """Classify guest-virtual region *vregion* into translation classes.
+
+    A region mapped with base guest pages can span multiple classes (some
+    of its GPAs behind huge EPT entries, others behind base entries), hence
+    the list.
+    """
+    if guest_table.is_huge(vregion):
+        gpregion = guest_table.huge_target(vregion)
+        assert gpregion is not None
+        if ept.is_huge(gpregion):
+            return [
+                RegionClass(RegionKind.ALIGNED_HUGE, entries=1, pages=PAGES_PER_HUGE)
+            ]
+        # Guest huge over splintered host backing: one 4 KiB translation
+        # per host-backed page; pages not yet host-backed fault on first
+        # touch and then behave the same, so count the full region.
+        return [
+            RegionClass(
+                RegionKind.GUEST_HUGE_ONLY,
+                entries=PAGES_PER_HUGE,
+                pages=PAGES_PER_HUGE,
+            )
+        ]
+    mappings = guest_table.region_mappings(vregion)
+    if not mappings:
+        return []
+    host_huge = 0
+    base = 0
+    for gpn in mappings.values():
+        if ept.is_huge(gpn // PAGES_PER_HUGE):
+            host_huge += 1
+        else:
+            base += 1
+    classes = []
+    if host_huge:
+        classes.append(
+            RegionClass(RegionKind.HOST_HUGE_ONLY, entries=host_huge, pages=host_huge)
+        )
+    if base:
+        classes.append(RegionClass(RegionKind.BASE_ONLY, entries=base, pages=base))
+    return classes
+
+
+@dataclass
+class AlignmentReport:
+    """Well-aligned huge page statistics for one VM."""
+
+    guest_huge: int = 0
+    host_huge: int = 0
+    aligned_guest: int = 0
+    aligned_host: int = 0
+
+    @property
+    def total_huge(self) -> int:
+        return self.guest_huge + self.host_huge
+
+    @property
+    def aligned_total(self) -> int:
+        return self.aligned_guest + self.aligned_host
+
+    @property
+    def well_aligned_rate(self) -> float:
+        """Fraction of huge pages (both layers) that are well-aligned —
+        the statistic of Tables 1, 3 and 4."""
+        total = self.total_huge
+        return self.aligned_total / total if total else 0.0
+
+    def merge(self, other: "AlignmentReport") -> None:
+        self.guest_huge += other.guest_huge
+        self.host_huge += other.host_huge
+        self.aligned_guest += other.aligned_guest
+        self.aligned_host += other.aligned_host
+
+
+def alignment_report(guest_table: PageTable, ept: PageTable) -> AlignmentReport:
+    """Count well-aligned and mis-aligned huge pages across both layers.
+
+    A guest huge page is well-aligned when its target guest-physical
+    region is mapped by one huge EPT entry; a host huge page is
+    well-aligned when some guest huge page maps onto its guest-physical
+    region.
+    """
+    report = AlignmentReport()
+    guest_targets = set()
+    for _, gpregion in guest_table.huge_mappings():
+        report.guest_huge += 1
+        guest_targets.add(gpregion)
+        if ept.is_huge(gpregion):
+            report.aligned_guest += 1
+    for gpregion, _ in ept.huge_mappings():
+        report.host_huge += 1
+        if gpregion in guest_targets:
+            report.aligned_host += 1
+    return report

@@ -1,0 +1,89 @@
+"""Event and cycle accounting.
+
+Every memory-management action in the simulator (faults, promotions,
+migrations, shoot-downs, daemon scans) charges a :class:`CostLedger`.
+The performance model later splits charges into:
+
+* *synchronous* cycles — paid inline by the application (page faults,
+  synchronous promotion stalls, shoot-down waits); these inflate request
+  latency and its tail;
+* *background* cycles — daemon work that mostly overlaps with idle cores;
+  charged against throughput at :data:`repro.tlb.costs.BACKGROUND_DISCOUNT`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["Charge", "CostLedger"]
+
+
+@dataclass
+class Charge:
+    """Accumulated count and cycles for one event type."""
+
+    count: int = 0
+    cycles: float = 0.0
+
+
+@dataclass
+class CostLedger:
+    """Per-layer accumulator of memory-management costs."""
+
+    name: str = ""
+    sync: dict[str, Charge] = field(default_factory=lambda: defaultdict(Charge))
+    background: dict[str, Charge] = field(default_factory=lambda: defaultdict(Charge))
+
+    def charge(self, event: str, cycles: float, count: int = 1, sync: bool = True) -> None:
+        """Record *count* occurrences of *event* costing *cycles* in total."""
+        if cycles < 0 or count < 0:
+            raise ValueError(f"negative charge: {event} {cycles} x{count}")
+        bucket = self.sync if sync else self.background
+        charge = bucket[event]
+        charge.count += count
+        charge.cycles += cycles
+
+    @property
+    def sync_cycles(self) -> float:
+        return sum(c.cycles for c in self.sync.values())
+
+    @property
+    def background_cycles(self) -> float:
+        return sum(c.cycles for c in self.background.values())
+
+    def count(self, event: str) -> int:
+        """Total occurrences of *event* across both buckets."""
+        return self.sync[event].count + self.background[event].count
+
+    def cycles(self, event: str) -> float:
+        """Total cycles of *event* across both buckets."""
+        return self.sync[event].cycles + self.background[event].cycles
+
+    def merge(self, other: "CostLedger") -> None:
+        """Fold *other*'s charges into this ledger."""
+        for event, charge in other.sync.items():
+            self.charge(event, charge.cycles, charge.count, sync=True)
+        for event, charge in other.background.items():
+            self.charge(event, charge.cycles, charge.count, sync=False)
+
+    def snapshot(self) -> "CostLedger":
+        """Deep copy, for per-epoch deltas."""
+        copy = CostLedger(name=self.name)
+        copy.merge(self)
+        return copy
+
+    def delta_since(self, baseline: "CostLedger") -> "CostLedger":
+        """Charges accumulated since *baseline* (a previous snapshot)."""
+        delta = CostLedger(name=self.name)
+        for bucket_name in ("sync", "background"):
+            current: dict[str, Charge] = getattr(self, bucket_name)
+            previous: dict[str, Charge] = getattr(baseline, bucket_name)
+            target: dict[str, Charge] = getattr(delta, bucket_name)
+            for event, charge in current.items():
+                prior = previous.get(event, Charge())
+                diff_count = charge.count - prior.count
+                diff_cycles = charge.cycles - prior.cycles
+                if diff_count or diff_cycles:
+                    target[event] = Charge(count=diff_count, cycles=diff_cycles)
+        return delta

@@ -1,0 +1,122 @@
+"""Result export: CSV and Markdown writers for experiment matrices.
+
+The experiment harness produces nested ``results[workload][system]``
+dictionaries of :class:`~repro.sim.results.RunResult`; these helpers
+flatten them for spreadsheets and docs (EXPERIMENTS.md is generated with
+them).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Mapping
+
+from repro.sim.results import RunResult
+
+__all__ = [
+    "results_to_rows",
+    "write_csv",
+    "matrix_to_markdown",
+    "series_to_csv",
+]
+
+#: RunResult properties exported by default.
+DEFAULT_METRICS = [
+    "throughput",
+    "mean_latency",
+    "p99_latency",
+    "tlb_misses",
+    "well_aligned_rate",
+    "huge_pages",
+    "bloat_pages",
+]
+
+
+def results_to_rows(
+    results: Mapping[str, Mapping[str, RunResult]],
+    metrics: list[str] | None = None,
+) -> list[dict[str, object]]:
+    """Flatten a results matrix into one dict per (workload, system)."""
+    metrics = metrics or DEFAULT_METRICS
+    rows = []
+    for workload, row in results.items():
+        for system, result in row.items():
+            record: dict[str, object] = {"workload": workload, "system": system}
+            for metric in metrics:
+                record[metric] = getattr(result, metric)
+            rows.append(record)
+    return rows
+
+
+def write_csv(
+    results: Mapping[str, Mapping[str, RunResult]],
+    path: str,
+    metrics: list[str] | None = None,
+) -> None:
+    """Write the flattened matrix to *path* as CSV."""
+    rows = results_to_rows(results, metrics)
+    if not rows:
+        raise ValueError("empty results matrix")
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def matrix_to_markdown(
+    table: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    fmt: str = "{:.2f}",
+) -> str:
+    """Render a workload x system table of floats as GitHub Markdown."""
+    if not table:
+        return title
+    systems = list(next(iter(table.values())).keys())
+    lines = []
+    if title:
+        lines.append(f"**{title}**")
+        lines.append("")
+    lines.append("| workload | " + " | ".join(systems) + " |")
+    lines.append("|---" * (len(systems) + 1) + "|")
+    for workload, row in table.items():
+        cells = " | ".join(fmt.format(row.get(s, float("nan"))) for s in systems)
+        lines.append(f"| {workload} | {cells} |")
+    means = {
+        s: sum(row[s] for row in table.values() if s in row) / len(table)
+        for s in systems
+    }
+    cells = " | ".join(fmt.format(means[s]) for s in systems)
+    lines.append(f"| **average** | {cells} |")
+    return "\n".join(lines)
+
+
+def series_to_csv(result: RunResult) -> str:
+    """Per-epoch time series of one run, as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        [
+            "epoch", "throughput", "mean_latency", "p99_latency",
+            "tlb_misses", "well_aligned_rate", "guest_huge_pages",
+            "host_huge_pages", "fmfi_guest", "fmfi_host", "bloat_pages",
+        ]
+    )
+    for record in result.epochs:
+        perf = record.performance
+        writer.writerow(
+            [
+                record.epoch,
+                f"{perf.throughput:.6e}",
+                f"{perf.mean_latency:.2f}",
+                f"{perf.p99_latency:.2f}",
+                f"{perf.tlb_misses:.1f}",
+                f"{record.alignment.well_aligned_rate:.4f}",
+                record.guest_huge_pages,
+                record.host_huge_pages,
+                f"{record.fmfi_guest:.3f}",
+                f"{record.fmfi_host:.3f}",
+                record.bloat_pages,
+            ]
+        )
+    return buffer.getvalue()

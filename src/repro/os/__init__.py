@@ -1,0 +1,7 @@
+"""Guest operating system substrate: virtual memory areas, address spaces,
+and the MemoryLayer mechanism shared with the hypervisor."""
+
+from repro.os.mm import MemoryLayer, OutOfMemory
+from repro.os.vma import VMA, AddressSpace
+
+__all__ = ["AddressSpace", "MemoryLayer", "OutOfMemory", "VMA"]

@@ -1,0 +1,457 @@
+"""MemoryLayer: one level of address-translation management.
+
+The simulator runs two instances of :class:`MemoryLayer`:
+
+* the **guest layer** — per-VM: maps guest-virtual pages (GVA) to
+  guest-physical frames (GPA) through process page tables, allocating GPAs
+  from the VM's guest-physical memory;
+* the **host layer** — maps guest-physical frames (GPA) to host-physical
+  frames (HPA) through per-VM tables (the EPT), allocating HPAs from host
+  memory.
+
+Both layers run a :class:`repro.policies.base.HugePagePolicy` that decides
+huge-page faults, frame placement and background promotion.  The layer
+provides the mechanism — demand faults, in-place promotion, migration-based
+promotion (khugepaged-style copy into a fresh huge page), compaction into a
+*specific* target region (the primitive Gemini's promoter needs), demotion
+and unmapping — and charges every action to a :class:`CostLedger`.
+
+A reverse map (frame -> mapping) is maintained so policies and the
+misaligned-huge-page scanner can attribute physical regions to their users,
+mirroring the kernel's rmap.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.mem.buddy import AllocationError
+from repro.mem.layout import HUGE_ORDER, PAGES_PER_HUGE
+from repro.mem.physmem import PhysicalMemory
+from repro.metrics.counters import CostLedger
+from repro.paging.pagetable import PageTable
+from repro.policies.base import HugePagePolicy
+from repro.tlb import costs
+
+__all__ = ["PROCESS", "OutOfMemory", "MemoryLayer"]
+
+#: Client id of the single simulated process inside each VM (the paper runs
+#: one workload per VM).
+PROCESS = 0
+
+
+class OutOfMemory(Exception):
+    """Raised when an allocation fails even after reclaim."""
+
+
+class MemoryLayer:
+    """One translation layer: page tables + allocator + policy + accounting."""
+
+    def __init__(
+        self,
+        name: str,
+        memory: PhysicalMemory,
+        policy: HugePagePolicy,
+        ledger: CostLedger | None = None,
+        virtualized: bool = False,
+    ) -> None:
+        self.name = name
+        self.memory = memory
+        self.policy = policy
+        self.ledger = ledger if ledger is not None else CostLedger(name)
+        #: True when TLB shoot-downs on this layer suffer virtualization
+        #: amplification (vCPU preemption delaying IPIs; Section 6.2).
+        self.virtualized = virtualized
+        #: Optional cross-layer callback: is physical region *pregion*
+        #: part of a well-aligned huge page?  Wired by the platform; used
+        #: to tag freed regions for Gemini's huge bucket.
+        self.alignment_probe: Callable[[int], bool] | None = None
+        #: Optional eligibility callback: may virtual region (client,
+        #: vregion) legitimately be huge-mapped?  In the guest this is "the
+        #: region lies fully inside one VMA"; the host backs the whole
+        #: guest-physical space, so every region is eligible there.
+        self.region_eligible: Callable[[int, int], bool] | None = None
+        #: Optional VMA lookup for placement policies: (client, vpn) ->
+        #: (vstart, vend) of the enclosing VMA.  Wired by the VM on its
+        #: guest layer; stays None in the host layer.
+        self.vma_bounds: Callable[[int, int], tuple[int, int] | None] | None = None
+        self._tables: dict[int, PageTable] = {}
+        #: reverse map for base mappings: pfn -> (client, vpn)
+        self._rmap_base: dict[int, tuple[int, int]] = {}
+        #: reverse map for huge mappings: pregion -> (client, vregion)
+        self._rmap_huge: dict[int, tuple[int, int]] = {}
+        #: zero-filled bloat introduced by promoting partially-populated
+        #: regions: (client, vregion) -> pages
+        self._bloat: dict[tuple[int, int], int] = {}
+        #: extra references on shared frames (KSM-merged pages): pfn ->
+        #: count of *additional* mappings beyond the first.  A shared frame
+        #: is only freed when its last reference is released.
+        self._frame_refs: dict[int, int] = {}
+        policy.attach(self)
+
+    # ------------------------------------------------------------------
+    # Tables and translation
+    # ------------------------------------------------------------------
+
+    def table(self, client: int) -> PageTable:
+        """The page table of *client* (a process in the guest, a VM in the
+        host), created on first use."""
+        if client not in self._tables:
+            self._tables[client] = PageTable(name=f"{self.name}:{client}")
+        return self._tables[client]
+
+    def clients(self) -> Iterator[int]:
+        yield from self._tables.keys()
+
+    def translate(self, client: int, vpn: int) -> int | None:
+        return self.table(client).translate(vpn)
+
+    def owner_of_frame(self, pfn: int) -> tuple[int, int] | None:
+        """(client, vpn) base-mapping the frame, if any."""
+        return self._rmap_base.get(pfn)
+
+    def owner_of_region(self, pregion: int) -> tuple[int, int] | None:
+        """(client, vregion) huge-mapping the physical region, if any."""
+        return self._rmap_huge.get(pregion)
+
+    def add_frame_ref(self, pfn: int) -> None:
+        """Register an additional mapping of *pfn* (page sharing/KSM)."""
+        self._frame_refs[pfn] = self._frame_refs.get(pfn, 0) + 1
+
+    def release_frame(self, pfn: int) -> None:
+        """Drop one reference to *pfn*; free it when none remain."""
+        refs = self._frame_refs.get(pfn)
+        if refs is not None:
+            if refs <= 1:
+                del self._frame_refs[pfn]
+            else:
+                self._frame_refs[pfn] = refs - 1
+            return
+        self.memory.free(pfn, 0)
+
+    def _drop_rmap(self, pfn: int, client: int, vpn: int) -> None:
+        """Remove the reverse-map entry if it names this mapping (shared
+        frames keep their original owner's entry)."""
+        if self._rmap_base.get(pfn) == (client, vpn):
+            del self._rmap_base[pfn]
+
+    def is_region_eligible(self, client: int, vregion: int) -> bool:
+        """May (client, vregion) be covered by one huge mapping?"""
+        if self.region_eligible is None:
+            return True
+        return self.region_eligible(client, vregion)
+
+    # ------------------------------------------------------------------
+    # Fault path
+    # ------------------------------------------------------------------
+
+    def fault(self, client: int, vpn: int, full_region: bool = True) -> int:
+        """Demand-fault *vpn*; return the frame it is mapped to.
+
+        *full_region* says whether the whole surrounding 2 MiB virtual
+        region is fault-eligible (inside one VMA), which gates huge faults.
+        """
+        table = self.table(client)
+        pfn = table.translate(vpn)
+        if pfn is not None:
+            return pfn
+        vregion = vpn // PAGES_PER_HUGE
+        if (
+            full_region
+            and table.region_population(vregion) == 0
+            and self.policy.wants_huge_fault(client, vregion)
+        ):
+            pregion = self.policy.alloc_huge_region(client, vregion)
+            if pregion is not None:
+                table.map_huge(vregion, pregion)
+                self._rmap_huge[pregion] = (client, vregion)
+                self.ledger.charge("huge_fault", costs.HUGE_FAULT_CYCLES)
+                result = table.translate(vpn)
+                assert result is not None
+                return result
+        frame = self.policy.choose_base_frame(client, vpn)
+        if frame is None:
+            frame = self.alloc_base_frame()
+        table.map_base(vpn, frame)
+        self._rmap_base[frame] = (client, vpn)
+        self.ledger.charge("base_fault", costs.BASE_FAULT_CYCLES)
+        return frame
+
+    def alloc_base_frame(self, node: int | None = None) -> int:
+        """Allocate one frame, invoking policy reclaim under pressure."""
+        try:
+            return self.memory.alloc(0, node=node)
+        except AllocationError:
+            released = self.policy.on_pressure()
+            if released <= 0:
+                raise OutOfMemory(f"{self.name}: out of memory") from None
+            try:
+                return self.memory.alloc(0, node=node)
+            except AllocationError:
+                raise OutOfMemory(f"{self.name}: out of memory") from None
+
+    def alloc_huge_region(self, node: int | None = None) -> int | None:
+        """Allocate one huge-aligned 2 MiB region; None when unavailable."""
+        try:
+            start = self.memory.alloc(HUGE_ORDER, node=node)
+        except AllocationError:
+            return None
+        return start // PAGES_PER_HUGE
+
+    # ------------------------------------------------------------------
+    # Promotion / demotion primitives
+    # ------------------------------------------------------------------
+
+    def try_promote_in_place(self, client: int, vregion: int) -> bool:
+        """Zero-copy promotion when the region is contiguous and aligned."""
+        table = self.table(client)
+        pregion = table.promotable(vregion)
+        if pregion is None:
+            return False
+        for vpn, pfn in table.region_mappings(vregion).items():
+            del self._rmap_base[pfn]
+        table.promote_in_place(vregion)
+        self._rmap_huge[pregion] = (client, vregion)
+        self.ledger.charge("inplace_promotion", costs.INPLACE_PROMOTION_CYCLES)
+        self._shootdown()
+        return True
+
+    def promote_with_migration(self, client: int, vregion: int) -> bool:
+        """khugepaged-style promotion: copy the region into a fresh huge page.
+
+        Works on partially-populated regions (the unpopulated tail is
+        zero-filled, i.e. memory bloat) and charges per-page copy costs plus
+        a TLB shoot-down.
+        """
+        table = self.table(client)
+        if table.is_huge(vregion):
+            return False
+        mappings = table.region_mappings(vregion)
+        if not mappings:
+            return False
+        pregion = self.alloc_huge_region()
+        if pregion is None:
+            return False
+        for vpn, old_pfn in mappings.items():
+            table.unmap_base(vpn)
+            self._drop_rmap(old_pfn, client, vpn)
+            self.release_frame(old_pfn)
+        table.map_huge(vregion, pregion)
+        self._rmap_huge[pregion] = (client, vregion)
+        populated = len(mappings)
+        bloat = PAGES_PER_HUGE - populated
+        if bloat:
+            self._bloat[(client, vregion)] = bloat
+        self.ledger.charge(
+            "migration_promotion", costs.PAGE_COPY_CYCLES * populated
+        )
+        self.ledger.charge("pages_copied", 0.0, count=populated)
+        self._shootdown()
+        return True
+
+    def compact_region(self, client: int, vregion: int, pregion: int) -> bool:
+        """Migrate the region's pages *into* physical region *pregion* so
+        every page sits at its huge-aligned offset.
+
+        This is the primitive Gemini's promoter uses to turn a type-2
+        mis-aligned huge page at the other layer into a well-aligned one:
+        the target region is dictated by the other layer's huge page.  The
+        move succeeds only if each destination frame is free or already
+        holds the right page; returns False (without side effects)
+        otherwise.
+        """
+        table = self.table(client)
+        if table.is_huge(vregion):
+            return False
+        mappings = table.region_mappings(vregion)
+        if not mappings:
+            return False
+        base = pregion * PAGES_PER_HUGE
+        vbase = vregion * PAGES_PER_HUGE
+        desired = {vpn: base + (vpn - vbase) for vpn in mappings}
+        moves = {
+            vpn: dst
+            for vpn, dst in desired.items()
+            if mappings[vpn] != dst
+        }
+        if not all(self.memory.is_free(dst) for dst in moves.values()):
+            return False
+        for dst in moves.values():
+            self.memory.alloc_at(dst, 0)
+        old = table.remap_region(vregion, desired)
+        for vpn, dst in desired.items():
+            old_pfn = old[vpn]
+            if old_pfn == dst:
+                continue
+            self._drop_rmap(old_pfn, client, vpn)
+            self._rmap_base[dst] = (client, vpn)
+            self.release_frame(old_pfn)
+        if moves:
+            self.ledger.charge(
+                "compaction_moves", costs.PAGE_COPY_CYCLES * len(moves)
+            )
+            self.ledger.charge("pages_copied", 0.0, count=len(moves))
+            self._shootdown()
+        return True
+
+    def relocate_huge(self, client: int, vregion: int) -> bool:
+        """Migrate a whole huge mapping to a freshly allocated region.
+
+        Translation Ranger's contiguity maintenance moves even huge pages
+        to assemble larger contiguous ranges; at the other translation
+        layer the old backing no longer matches, so such moves *break*
+        cross-layer alignment (one reason the paper measures the lowest
+        well-aligned rates for Ranger).
+        """
+        table = self.table(client)
+        old = table.huge_target(vregion)
+        if old is None:
+            return False
+        target = self.alloc_huge_region()
+        if target is None:
+            return False
+        table.unmap_huge(vregion)
+        del self._rmap_huge[old]
+        table.map_huge(vregion, target)
+        self._rmap_huge[target] = (client, vregion)
+        self.memory.free_range(old * PAGES_PER_HUGE, PAGES_PER_HUGE)
+        self.ledger.charge(
+            "huge_relocation", costs.PAGE_COPY_CYCLES * PAGES_PER_HUGE
+        )
+        self.ledger.charge("pages_copied", 0.0, count=PAGES_PER_HUGE)
+        self._shootdown()
+        return True
+
+    def relocate_page(self, client: int, vpn: int, dst: int | None = None) -> bool:
+        """Migrate one base page to *dst* (or a fresh frame).
+
+        Used to evict pages that sit inside a region another mapping needs
+        (Gemini's promoter clears foreign pages out of a target region).
+        Charges the copy; the caller batches the TLB shoot-down.
+        """
+        table = self.table(client)
+        vregion = vpn // PAGES_PER_HUGE
+        mappings = table.region_mappings(vregion)
+        old = mappings.get(vpn)
+        if old is None:
+            return False
+        if dst is None:
+            try:
+                dst = self.memory.alloc(0)
+            except AllocationError:
+                return False
+        else:
+            if not self.memory.is_free(dst):
+                return False
+            self.memory.alloc_at(dst, 0)
+        new_pfns = dict(mappings)
+        new_pfns[vpn] = dst
+        table.remap_region(vregion, new_pfns)
+        self._drop_rmap(old, client, vpn)
+        self._rmap_base[dst] = (client, vpn)
+        self.release_frame(old)
+        self.ledger.charge("page_relocation", costs.PAGE_COPY_CYCLES)
+        self.ledger.charge("pages_copied", 0.0, count=1)
+        return True
+
+    def map_prealloc(self, client: int, vpn: int, frame: int) -> bool:
+        """Pre-allocate and map a not-yet-touched page at a specific frame.
+
+        EMA's huge preallocation (Section 4.2): when only a few base pages
+        are missing from an otherwise promotable region, the allocator
+        installs them eagerly so the region can be promoted in place.
+        """
+        table = self.table(client)
+        if table.is_mapped(vpn) or not self.memory.is_free(frame):
+            return False
+        self.memory.alloc_at(frame, 0)
+        table.map_base(vpn, frame)
+        self._rmap_base[frame] = (client, vpn)
+        self.ledger.charge("prealloc_fault", costs.BASE_FAULT_CYCLES, sync=False)
+        return True
+
+    def demote(self, client: int, vregion: int) -> None:
+        """Splinter a huge mapping back into base mappings."""
+        table = self.table(client)
+        pregion = table.huge_target(vregion)
+        if pregion is None:
+            return
+        table.demote(vregion)
+        del self._rmap_huge[pregion]
+        for vpn, pfn in table.region_mappings(vregion).items():
+            self._rmap_base[pfn] = (client, vpn)
+        self._bloat.pop((client, vregion), None)
+        self.ledger.charge("demotion", costs.INPLACE_PROMOTION_CYCLES)
+        self._shootdown()
+
+    # ------------------------------------------------------------------
+    # Unmapping
+    # ------------------------------------------------------------------
+
+    def unmap_range(self, client: int, start: int, npages: int) -> None:
+        """Unmap ``[start, start + npages)`` and free the backing frames.
+
+        Huge mappings fully inside the range are freed as whole regions
+        (offered to the policy first — Gemini's bucket intercepts
+        well-aligned ones); partially-covered huge mappings are demoted
+        first.
+        """
+        table = self.table(client)
+        end = start + npages
+        first = start // PAGES_PER_HUGE
+        last = (end - 1) // PAGES_PER_HUGE
+        for vregion in range(first, last + 1):
+            rstart = vregion * PAGES_PER_HUGE
+            rend = rstart + PAGES_PER_HUGE
+            if table.is_huge(vregion):
+                if start <= rstart and rend <= end:
+                    self._free_huge_mapping(client, vregion)
+                    continue
+                self.demote(client, vregion)
+            for vpn, pfn in table.region_mappings(vregion).items():
+                if start <= vpn < end:
+                    table.unmap_base(vpn)
+                    self._drop_rmap(pfn, client, vpn)
+                    self.release_frame(pfn)
+        self.policy.on_unmap(client, start, end)
+
+    def _free_huge_mapping(self, client: int, vregion: int) -> None:
+        table = self.table(client)
+        pregion = table.unmap_huge(vregion)
+        del self._rmap_huge[pregion]
+        self._bloat.pop((client, vregion), None)
+        aligned = bool(self.alignment_probe and self.alignment_probe(pregion))
+        if not self.policy.on_region_freed(client, pregion, aligned):
+            self.memory.free_range(pregion * PAGES_PER_HUGE, PAGES_PER_HUGE)
+
+    # ------------------------------------------------------------------
+    # Accounting helpers
+    # ------------------------------------------------------------------
+
+    def charge_scan(self, nregions: int) -> None:
+        """Charge (discounted) background scanning work."""
+        self.ledger.charge(
+            "daemon_scan",
+            costs.SCAN_REGION_CYCLES * nregions * costs.BACKGROUND_DISCOUNT,
+            count=nregions,
+            sync=False,
+        )
+
+    def _shootdown(self) -> None:
+        factor = costs.VIRT_SHOOTDOWN_FACTOR if self.virtualized else 1.0
+        self.ledger.charge("tlb_shootdown", costs.TLB_SHOOTDOWN_CYCLES * factor)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def bloat_pages(self) -> int:
+        """Zero-filled pages created by promoting under-populated regions."""
+        return sum(self._bloat.values())
+
+    def huge_mapping_count(self) -> int:
+        return sum(t.huge_count for t in self._tables.values())
+
+    def mapped_pages(self) -> int:
+        return sum(t.mapped_pages for t in self._tables.values())

@@ -1,0 +1,25 @@
+"""Page tables (guest process tables and host EPT) and the page-walk cost
+model for native and nested (two-dimensional) translation."""
+
+from repro.paging.pagetable import MappingError, PageTable
+from repro.paging.walker import (
+    HUGE_PAGE_LEVELS,
+    PAGE_TABLE_LEVELS,
+    WalkCost,
+    native_walk_cost,
+    native_walk_refs,
+    nested_walk_cost,
+    nested_walk_refs,
+)
+
+__all__ = [
+    "HUGE_PAGE_LEVELS",
+    "MappingError",
+    "PAGE_TABLE_LEVELS",
+    "PageTable",
+    "WalkCost",
+    "native_walk_cost",
+    "native_walk_refs",
+    "nested_walk_cost",
+    "nested_walk_refs",
+]

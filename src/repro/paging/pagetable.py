@@ -1,0 +1,228 @@
+"""Two-granularity page tables.
+
+One :class:`PageTable` instance models either a guest process page table
+(GVA -> GPA) or a VM / EPT page table in the host (GPA -> HPA).  Mappings
+exist at two granularities, matching x86-64 with 2 MiB huge pages:
+
+* *base* mappings: one virtual page number (VPN) -> one physical frame
+  number (PFN);
+* *huge* mappings: one 2 MiB-aligned virtual region -> one 2 MiB-aligned
+  physical region, stored by region index (VPN // 512 -> PFN // 512).
+
+The table enforces the invariant that a virtual region is covered either by
+base mappings or by one huge mapping, never both, and exposes the promotion
+and demotion primitives page-coalescing policies are built on:
+
+* :meth:`PageTable.promotable` tells whether the 512 base mappings of a
+  region are *in-place promotable* — fully populated, physically contiguous
+  and huge-aligned — which is the zero-copy promotion Gemini engineers for;
+* :meth:`PageTable.promote_in_place` collapses such a region into one huge
+  PTE;
+* :meth:`PageTable.demote` splinters a huge mapping back into 512 base
+  mappings (used on partial unmap and under memory pressure).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.mem.layout import PAGES_PER_HUGE, huge_region_index
+
+__all__ = ["MappingError", "PageTable"]
+
+
+class MappingError(Exception):
+    """Raised on conflicting or missing mappings."""
+
+
+class PageTable:
+    """Sparse two-level-granularity translation table."""
+
+    def __init__(self, name: str = "pt") -> None:
+        self.name = name
+        #: base-page mappings: vpn -> pfn
+        self._base: dict[int, int] = {}
+        #: huge-page mappings: virtual region index -> physical region index
+        self._huge: dict[int, int] = {}
+        #: base mappings bucketed by virtual region, for O(1) region queries:
+        #: region index -> {vpn -> pfn}
+        self._region_base: dict[int, dict[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Mapping / unmapping
+    # ------------------------------------------------------------------
+
+    def map_base(self, vpn: int, pfn: int) -> None:
+        """Install a 4 KiB mapping vpn -> pfn."""
+        region = huge_region_index(vpn)
+        if region in self._huge:
+            raise MappingError(
+                f"{self.name}: vpn {vpn} already covered by huge mapping"
+            )
+        if vpn in self._base:
+            raise MappingError(f"{self.name}: vpn {vpn} already mapped")
+        self._base[vpn] = pfn
+        self._region_base.setdefault(region, {})[vpn] = pfn
+
+    def map_huge(self, vregion: int, pregion: int) -> None:
+        """Install a 2 MiB mapping of virtual region -> physical region."""
+        if vregion in self._huge:
+            raise MappingError(f"{self.name}: region {vregion} already huge-mapped")
+        if self._region_base.get(vregion):
+            raise MappingError(
+                f"{self.name}: region {vregion} has base mappings; "
+                "unmap or promote them first"
+            )
+        self._huge[vregion] = pregion
+
+    def unmap_base(self, vpn: int) -> int:
+        """Remove a 4 KiB mapping; return the PFN it pointed at."""
+        if vpn not in self._base:
+            raise MappingError(f"{self.name}: vpn {vpn} not base-mapped")
+        pfn = self._base.pop(vpn)
+        region = huge_region_index(vpn)
+        bucket = self._region_base[region]
+        del bucket[vpn]
+        if not bucket:
+            del self._region_base[region]
+        return pfn
+
+    def unmap_huge(self, vregion: int) -> int:
+        """Remove a 2 MiB mapping; return the physical region index."""
+        if vregion not in self._huge:
+            raise MappingError(f"{self.name}: region {vregion} not huge-mapped")
+        return self._huge.pop(vregion)
+
+    # ------------------------------------------------------------------
+    # Translation
+    # ------------------------------------------------------------------
+
+    def translate(self, vpn: int) -> int | None:
+        """Translate a base VPN to its PFN, through either mapping size."""
+        region = huge_region_index(vpn)
+        pregion = self._huge.get(region)
+        if pregion is not None:
+            offset = vpn - region * PAGES_PER_HUGE
+            return pregion * PAGES_PER_HUGE + offset
+        return self._base.get(vpn)
+
+    def is_mapped(self, vpn: int) -> bool:
+        return self.translate(vpn) is not None
+
+    def is_huge(self, vregion: int) -> bool:
+        """True if virtual region *vregion* is covered by a huge mapping."""
+        return vregion in self._huge
+
+    def huge_target(self, vregion: int) -> int | None:
+        """Physical region index backing huge-mapped *vregion*, if any."""
+        return self._huge.get(vregion)
+
+    # ------------------------------------------------------------------
+    # Region inspection
+    # ------------------------------------------------------------------
+
+    def region_population(self, vregion: int) -> int:
+        """Number of base pages mapped within virtual region *vregion*."""
+        return len(self._region_base.get(vregion, ()))
+
+    def region_mappings(self, vregion: int) -> dict[int, int]:
+        """Copy of the base vpn -> pfn mappings within *vregion*."""
+        return dict(self._region_base.get(vregion, {}))
+
+    def promotable(self, vregion: int) -> int | None:
+        """If *vregion* is in-place promotable, the target physical region.
+
+        In-place promotion requires all 512 base pages mapped, physically
+        contiguous, in virtual order, with the first frame 2 MiB-aligned.
+        Returns ``None`` otherwise.
+        """
+        bucket = self._region_base.get(vregion)
+        if bucket is None or len(bucket) != PAGES_PER_HUGE:
+            return None
+        first_vpn = vregion * PAGES_PER_HUGE
+        first_pfn = bucket.get(first_vpn)
+        if first_pfn is None or first_pfn % PAGES_PER_HUGE != 0:
+            return None
+        for offset in range(1, PAGES_PER_HUGE):
+            if bucket.get(first_vpn + offset) != first_pfn + offset:
+                return None
+        return first_pfn // PAGES_PER_HUGE
+
+    def promote_in_place(self, vregion: int) -> int:
+        """Collapse the base mappings of *vregion* into one huge mapping.
+
+        Returns the physical region index.  Raises :class:`MappingError`
+        when the region is not in-place promotable.
+        """
+        pregion = self.promotable(vregion)
+        if pregion is None:
+            raise MappingError(
+                f"{self.name}: region {vregion} not in-place promotable"
+            )
+        for vpn in list(self._region_base[vregion]):
+            del self._base[vpn]
+        del self._region_base[vregion]
+        self._huge[vregion] = pregion
+        return pregion
+
+    def remap_region(self, vregion: int, new_pfns: dict[int, int]) -> dict[int, int]:
+        """Replace the base mappings of *vregion* (migration support).
+
+        *new_pfns* maps each currently-mapped vpn of the region to its new
+        frame.  Returns the old vpn -> pfn mappings so the caller can free
+        the vacated frames.  Every mapped vpn must be present in *new_pfns*.
+        """
+        bucket = self._region_base.get(vregion)
+        if not bucket:
+            raise MappingError(f"{self.name}: region {vregion} has no base mappings")
+        if set(new_pfns) != set(bucket):
+            raise MappingError(
+                f"{self.name}: remap of region {vregion} must cover exactly "
+                "the mapped vpns"
+            )
+        old = dict(bucket)
+        for vpn, pfn in new_pfns.items():
+            self._base[vpn] = pfn
+            bucket[vpn] = pfn
+        return old
+
+    def demote(self, vregion: int) -> None:
+        """Splinter huge-mapped *vregion* into 512 base mappings."""
+        if vregion not in self._huge:
+            raise MappingError(f"{self.name}: region {vregion} not huge-mapped")
+        pregion = self._huge.pop(vregion)
+        first_vpn = vregion * PAGES_PER_HUGE
+        first_pfn = pregion * PAGES_PER_HUGE
+        bucket = self._region_base.setdefault(vregion, {})
+        for offset in range(PAGES_PER_HUGE):
+            self._base[first_vpn + offset] = first_pfn + offset
+            bucket[first_vpn + offset] = first_pfn + offset
+
+    # ------------------------------------------------------------------
+    # Iteration / statistics
+    # ------------------------------------------------------------------
+
+    def huge_mappings(self) -> Iterator[tuple[int, int]]:
+        """Yield (virtual region, physical region) for every huge mapping."""
+        yield from self._huge.items()
+
+    def base_mappings(self) -> Iterator[tuple[int, int]]:
+        """Yield (vpn, pfn) for every base mapping."""
+        yield from self._base.items()
+
+    def populated_regions(self) -> Iterator[int]:
+        """Virtual regions with at least one base mapping (non-huge)."""
+        yield from self._region_base.keys()
+
+    @property
+    def huge_count(self) -> int:
+        return len(self._huge)
+
+    @property
+    def base_count(self) -> int:
+        return len(self._base)
+
+    @property
+    def mapped_pages(self) -> int:
+        """Total base pages covered, counting each huge mapping as 512."""
+        return self.base_count + self.huge_count * PAGES_PER_HUGE

@@ -1,0 +1,105 @@
+"""Page-walk cost model: native one-dimensional and nested two-dimensional.
+
+On a TLB miss the hardware walks the page tables.  On a native system this
+is up to 4 memory references (one per level of the 4-level x86-64 table).
+With nested paging every guest-physical address used *during* the guest walk
+must itself be translated through the host table, so the walk is
+two-dimensional: for a guest table of ``g`` levels and a host table of ``h``
+levels the processor performs ``(g + 1) * (h + 1) - 1`` memory references —
+24 for the standard 4+4 case, exactly the figure the paper quotes in
+Section 2.1.
+
+Huge pages shorten walks on both dimensions: a 2 MiB PTE lives one level
+higher, so its dimension contributes one fewer level.  Page-walk caches
+(PWCs) absorb references to high-level directories; following Section 2.1
+they are highly effective for the upper levels but cannot easily cache the
+lowest-level directories, which is why huge pages (whose PTEs sit in
+well-cached high levels) see disproportionately cheaper walks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "WalkCost",
+    "PAGE_TABLE_LEVELS",
+    "HUGE_PAGE_LEVELS",
+    "native_walk_refs",
+    "nested_walk_refs",
+    "native_walk_cost",
+    "nested_walk_cost",
+]
+
+#: Levels walked to reach a base-page PTE on x86-64.
+PAGE_TABLE_LEVELS = 4
+#: Levels walked to reach a 2 MiB PTE (one fewer: the PTE is in the PD).
+HUGE_PAGE_LEVELS = 3
+
+#: Fraction of page-table references absorbed by the page-walk caches.  The
+#: lowest-level directory of a base-page walk is hard to cache (Section 2.1
+#: of the paper, citing Bhargava et al.), so base walks retain at least one
+#: uncached reference per dimension while huge-page walks are almost fully
+#: cached -- modelled by applying the PWC hit rate to all but the final
+#: uncached reference(s).
+PWC_HIT_RATE = 0.80
+
+#: Cycles for one memory reference made by the walker.  A blend of cache and
+#: DRAM latencies; only ratios between configurations matter for the
+#: reproduction, not the absolute figure.
+WALK_REF_CYCLES = 50.0
+
+
+@dataclass(frozen=True)
+class WalkCost:
+    """Expected cost of one TLB-miss page walk."""
+
+    refs: int
+    cycles: float
+
+
+def native_walk_refs(huge: bool) -> int:
+    """Memory references of a native (one-dimensional) page walk."""
+    return HUGE_PAGE_LEVELS if huge else PAGE_TABLE_LEVELS
+
+
+def nested_walk_refs(guest_huge: bool, host_huge: bool) -> int:
+    """Memory references of a two-dimensional (nested) page walk."""
+    guest_levels = HUGE_PAGE_LEVELS if guest_huge else PAGE_TABLE_LEVELS
+    host_levels = HUGE_PAGE_LEVELS if host_huge else PAGE_TABLE_LEVELS
+    return (guest_levels + 1) * (host_levels + 1) - 1
+
+
+def _expected_cycles(refs: int, uncached_refs: int) -> float:
+    """Expected walk cycles once the PWC absorbs part of the references.
+
+    *uncached_refs* references (the lowest-level directories) always go to
+    memory; the remaining ``refs - uncached_refs`` hit the PWC with
+    :data:`PWC_HIT_RATE`.
+    """
+    cached = max(refs - uncached_refs, 0)
+    effective = uncached_refs + cached * (1.0 - PWC_HIT_RATE)
+    return effective * WALK_REF_CYCLES
+
+
+def native_walk_cost(huge: bool) -> WalkCost:
+    """Walk cost on a native system for a base or huge page."""
+    refs = native_walk_refs(huge)
+    # Base walks keep one hard-to-cache low-level reference; huge-page walks
+    # touch only well-cached high-level directories.
+    uncached = 1 if not huge else 0
+    return WalkCost(refs=refs, cycles=_expected_cycles(refs, uncached))
+
+
+def nested_walk_cost(guest_huge: bool, host_huge: bool) -> WalkCost:
+    """Walk cost on a virtualized system with nested paging.
+
+    ``guest_huge``/``host_huge`` describe the page size *of the mapping
+    being walked* in each dimension.  Whether the resulting translation can
+    actually be cached in the TLB (the alignment question at the heart of
+    the paper) is the TLB model's concern, not the walker's: misaligned
+    huge pages still enjoy the shorter walk, as Section 2.2 notes.
+    """
+    refs = nested_walk_refs(guest_huge, host_huge)
+    uncached = (0 if guest_huge else 1) + (0 if host_huge else 1)
+    return WalkCost(refs=refs, cycles=_expected_cycles(refs, uncached))

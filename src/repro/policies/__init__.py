@@ -1,0 +1,36 @@
+"""Huge-page policies: the policy interface, shared coalescing and
+placement machinery, the seven comparison systems, and the system registry."""
+
+from repro.policies.base import EpochTelemetry, HugePagePolicy
+from repro.policies.coalescing import CoalescingPolicy
+from repro.policies.placement import ContiguityList, OffsetDescriptor, OffsetPlacer
+from repro.policies.registry import PAPER_SYSTEMS, SYSTEMS, SystemSpec, system_spec
+from repro.policies.systems import (
+    BasePagesOnly,
+    CAPagingPolicy,
+    HawkEyePolicy,
+    HugeAlways,
+    IngensPolicy,
+    RangerPolicy,
+    THPPolicy,
+)
+
+__all__ = [
+    "BasePagesOnly",
+    "CAPagingPolicy",
+    "CoalescingPolicy",
+    "ContiguityList",
+    "EpochTelemetry",
+    "HawkEyePolicy",
+    "HugeAlways",
+    "HugePagePolicy",
+    "IngensPolicy",
+    "OffsetDescriptor",
+    "OffsetPlacer",
+    "PAPER_SYSTEMS",
+    "RangerPolicy",
+    "SYSTEMS",
+    "SystemSpec",
+    "system_spec",
+    "THPPolicy",
+]

@@ -1,0 +1,172 @@
+"""Parameterised dynamic page-coalescing engine.
+
+THP, Ingens, HawkEye and Translation-Ranger all follow the same skeleton —
+optionally serve faults with huge pages, and run a background daemon that
+promotes populated regions, in place when possible and by copying into a
+fresh huge page otherwise.  They differ in the knobs (Sections 2.3 and 7 of
+the paper, and the cited systems' own papers):
+
+============  ==========  ===========  ========  =========================
+system        sync fault  threshold    budget    candidate order
+============  ==========  ===========  ========  =========================
+THP           yes         sparse (1)   small     round-robin (khugepaged)
+Ingens        no (async)  90% util     medium    round-robin
+HawkEye       no (async)  ~50% util    medium    access benefit (population)
+Ranger        no          any (1)      large     round-robin + extra moves
+============  ==========  ===========  ========  =========================
+
+Concrete policy classes live in :mod:`repro.policies.systems`.
+"""
+
+from __future__ import annotations
+
+from repro.mem.layout import PAGES_PER_HUGE
+from repro.policies.base import HugePagePolicy
+from repro.tlb import costs
+
+__all__ = ["CoalescingPolicy"]
+
+#: Synchronous direct-compaction stall charged when a huge fault cannot
+#: find a free huge page (the THP latency problem Ingens identifies).
+DIRECT_COMPACTION_CYCLES = 30_000.0
+
+
+class CoalescingPolicy(HugePagePolicy):
+    """Fault-time and daemon-time page coalescing with tunable aggression."""
+
+    name = "coalescing"
+
+    def __init__(
+        self,
+        sync_huge_faults: bool = False,
+        util_threshold: float = 0.9,
+        scan_budget: int = 8,
+        allow_migration: bool = True,
+        benefit_sorted: bool = False,
+        defer_limit: int = 8,
+        compaction_stalls: bool = False,
+        deduplicates_zero_pages: bool = False,
+        sync_fault_budget: int | None = None,
+        scan_period: int = 1,
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= util_threshold <= 1.0:
+            raise ValueError(f"util_threshold out of [0, 1]: {util_threshold}")
+        self.sync_huge_faults = sync_huge_faults
+        self.util_threshold = util_threshold
+        self.scan_budget = scan_budget
+        self.allow_migration = allow_migration
+        self.benefit_sorted = benefit_sorted
+        self.defer_limit = defer_limit
+        self.compaction_stalls = compaction_stalls
+        self.deduplicates_zero_pages = deduplicates_zero_pages
+        #: Maximum huge faults served per epoch (None = unlimited).  Real
+        #: fault-time huge allocation is rate-limited by direct-reclaim /
+        #: compaction stalls; beyond the budget the fault takes the base
+        #: path and khugepaged handles the region later.
+        self.sync_fault_budget = sync_fault_budget
+        #: Run the daemon only every scan_period-th scan call (khugepaged's
+        #: slow cadence relative to dedicated daemons like Ingens's).
+        self.scan_period = max(1, scan_period)
+        self._sync_faults_this_epoch = 0
+        self._scan_calls = 0
+        self._fail_streak = 0
+        self._cursor = 0
+
+    # ------------------------------------------------------------------
+    # Fault path
+    # ------------------------------------------------------------------
+
+    def wants_huge_fault(self, client: int, vregion: int) -> bool:
+        if not self.sync_huge_faults:
+            return False
+        if self._fail_streak >= self.defer_limit:
+            # Like THP's deferred mode: stop stalling faults on compaction
+            # after repeated failures; khugepaged picks the region up later.
+            return False
+        if (
+            self.sync_fault_budget is not None
+            and self._sync_faults_this_epoch >= self.sync_fault_budget
+        ):
+            return False
+        assert self.layer is not None
+        return self.layer.is_region_eligible(client, vregion)
+
+    def alloc_huge_region(self, client: int, vregion: int) -> int | None:
+        assert self.layer is not None
+        pregion = self.layer.alloc_huge_region()
+        if pregion is None:
+            self._fail_streak += 1
+            if self.compaction_stalls:
+                self.layer.ledger.charge(
+                    "direct_compaction", DIRECT_COMPACTION_CYCLES
+                )
+        else:
+            self._fail_streak = 0
+            self._sync_faults_this_epoch += 1
+        return pregion
+
+    # ------------------------------------------------------------------
+    # Background daemon
+    # ------------------------------------------------------------------
+
+    def scan(self, budget: int | None = None) -> int:
+        """One daemon pass; returns the number of regions promoted."""
+        assert self.layer is not None
+        self._scan_calls += 1
+        if self._scan_calls % self.scan_period != 0:
+            return 0
+        budget = self.scan_budget if budget is None else budget
+        candidates = self._candidates()
+        self.layer.charge_scan(len(candidates))
+        promoted = 0
+        for client, vregion, _pop in self._ordered(candidates):
+            if promoted >= budget:
+                break
+            if self._promote(client, vregion):
+                promoted += 1
+        return promoted
+
+    def _candidates(self) -> list[tuple[int, int, int]]:
+        assert self.layer is not None
+        min_pages = max(1, int(self.util_threshold * PAGES_PER_HUGE))
+        found = []
+        for client in self.layer.clients():
+            table = self.layer.table(client)
+            for vregion in list(table.populated_regions()):
+                population = table.region_population(vregion)
+                if population < min_pages:
+                    continue
+                if not self.layer.is_region_eligible(client, vregion):
+                    continue
+                found.append((client, vregion, population))
+        return found
+
+    def _ordered(self, candidates: list[tuple[int, int, int]]) -> list[tuple[int, int, int]]:
+        if self.benefit_sorted:
+            # HawkEye orders by expected benefit; region population is the
+            # simulator's proxy for its access-coverage estimate.
+            return sorted(candidates, key=lambda c: c[2], reverse=True)
+        if not candidates:
+            return candidates
+        # Round-robin: continue after the last scan position.
+        self._cursor %= len(candidates)
+        rotated = candidates[self._cursor:] + candidates[: self._cursor]
+        self._cursor += self.scan_budget
+        return rotated
+
+    def _promote(self, client: int, vregion: int) -> bool:
+        assert self.layer is not None
+        if self.layer.try_promote_in_place(client, vregion):
+            return True
+        if self.allow_migration:
+            return self.layer.promote_with_migration(client, vregion)
+        return False
+
+    # ------------------------------------------------------------------
+    # Feedback
+    # ------------------------------------------------------------------
+
+    def on_epoch(self, telemetry) -> None:
+        self._fail_streak = 0
+        self._sync_faults_this_epoch = 0

@@ -1,0 +1,92 @@
+"""Registry of the evaluated systems: (guest policy, host policy) pairs.
+
+Names follow the paper's figures: Host-B-VM-B, Misalignment, THP, Ingens,
+HawkEye, CA-paging, Translation-Ranger and Gemini, plus the two extra
+static configurations of Figure 2 (Host-H-VM-H, Host-B-VM-H, Host-H-VM-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.policies.base import HugePagePolicy
+from repro.policies.systems import (
+    BasePagesOnly,
+    CAPagingPolicy,
+    HawkEyePolicy,
+    HugeAlways,
+    IngensPolicy,
+    RangerPolicy,
+    THPPolicy,
+)
+
+__all__ = ["SystemSpec", "SYSTEMS", "PAPER_SYSTEMS", "system_spec"]
+
+
+def _gemini_guest() -> HugePagePolicy:
+    # Imported lazily: repro.core builds on repro.policies, so a module-level
+    # import here would be circular.
+    from repro.core.policy import GeminiGuestPolicy
+
+    return GeminiGuestPolicy()
+
+
+def _gemini_host() -> HugePagePolicy:
+    from repro.core.policy import GeminiHostPolicy
+
+    return GeminiHostPolicy()
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """Factories for one evaluated system's per-layer policies."""
+
+    name: str
+    guest_factory: Callable[[], HugePagePolicy]
+    host_factory: Callable[[], HugePagePolicy]
+    uses_gemini_runtime: bool = False
+
+    def make_guest(self) -> HugePagePolicy:
+        return self.guest_factory()
+
+    def make_host(self) -> HugePagePolicy:
+        return self.host_factory()
+
+
+SYSTEMS: dict[str, SystemSpec] = {
+    spec.name: spec
+    for spec in [
+        SystemSpec("Host-B-VM-B", BasePagesOnly, BasePagesOnly),
+        SystemSpec("Host-H-VM-H", HugeAlways, HugeAlways),
+        SystemSpec("Host-B-VM-H", HugeAlways, BasePagesOnly),
+        SystemSpec("Host-H-VM-B", BasePagesOnly, HugeAlways),
+        SystemSpec("Misalignment", BasePagesOnly, HugeAlways),
+        SystemSpec("THP", THPPolicy, THPPolicy),
+        SystemSpec("Ingens", IngensPolicy, IngensPolicy),
+        SystemSpec("HawkEye", HawkEyePolicy, HawkEyePolicy),
+        SystemSpec("CA-paging", CAPagingPolicy, CAPagingPolicy),
+        SystemSpec("Translation-Ranger", RangerPolicy, RangerPolicy),
+        SystemSpec("Gemini", _gemini_guest, _gemini_host, uses_gemini_runtime=True),
+    ]
+}
+
+#: The eight systems compared throughout Section 6.
+PAPER_SYSTEMS = [
+    "Host-B-VM-B",
+    "Misalignment",
+    "THP",
+    "CA-paging",
+    "Translation-Ranger",
+    "HawkEye",
+    "Ingens",
+    "Gemini",
+]
+
+
+def system_spec(name: str) -> SystemSpec:
+    """Look up a system by its paper name (case-sensitive)."""
+    if name not in SYSTEMS:
+        known = ", ".join(sorted(SYSTEMS))
+        raise KeyError(f"unknown system {name!r}; known systems: {known}")
+    return SYSTEMS[name]

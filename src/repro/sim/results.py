@@ -1,0 +1,116 @@
+"""Simulation result records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics.alignment import AlignmentReport
+from repro.metrics.performance import EpochPerformance
+
+__all__ = ["EpochRecord", "RunResult"]
+
+
+@dataclass
+class EpochRecord:
+    """Everything measured in one epoch for one workload."""
+
+    epoch: int
+    performance: EpochPerformance
+    alignment: AlignmentReport
+    fmfi_guest: float
+    fmfi_host: float
+    guest_huge_pages: int
+    host_huge_pages: int
+    bloat_pages: int
+
+
+@dataclass
+class RunResult:
+    """Aggregated outcome of one (workload, system) simulation."""
+
+    system: str
+    workload: str
+    epochs: list[EpochRecord] = field(default_factory=list)
+    gemini_stats: dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Aggregates (steady state = second half of the run, matching how the
+    # paper measures after warm-up)
+    # ------------------------------------------------------------------
+
+    def _steady(self) -> list[EpochRecord]:
+        if not self.epochs:
+            return []
+        half = len(self.epochs) // 2
+        return self.epochs[half:]
+
+    @property
+    def throughput(self) -> float:
+        """Operations per cycle over the steady-state epochs."""
+        steady = self._steady()
+        cycles = sum(r.performance.total_cycles for r in steady)
+        ops = sum(r.performance.ops for r in steady)
+        return ops / cycles if cycles > 0 else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        steady = self._steady()
+        ops = sum(r.performance.ops for r in steady)
+        if ops <= 0:
+            return 0.0
+        weighted = sum(
+            r.performance.mean_latency * r.performance.ops for r in steady
+        )
+        return weighted / ops
+
+    @property
+    def p99_latency(self) -> float:
+        steady = self._steady()
+        ops = sum(r.performance.ops for r in steady)
+        if ops <= 0:
+            return 0.0
+        weighted = sum(r.performance.p99_latency * r.performance.ops for r in steady)
+        return weighted / ops
+
+    @property
+    def tlb_misses(self) -> float:
+        """Total TLB misses over the steady-state epochs."""
+        return sum(r.performance.tlb_misses for r in self._steady())
+
+    @property
+    def well_aligned_rate(self) -> float:
+        """Average well-aligned huge page rate over steady-state epochs
+        (the Tables 1/3/4 statistic)."""
+        steady = [r for r in self._steady() if r.alignment.total_huge > 0]
+        if not steady:
+            return 0.0
+        return sum(r.alignment.well_aligned_rate for r in steady) / len(steady)
+
+    @property
+    def huge_pages(self) -> float:
+        """Average total huge pages (both layers) in steady state."""
+        steady = self._steady()
+        if not steady:
+            return 0.0
+        return sum(r.guest_huge_pages + r.host_huge_pages for r in steady) / len(steady)
+
+    @property
+    def bloat_pages(self) -> float:
+        steady = self._steady()
+        if not steady:
+            return 0.0
+        return sum(r.bloat_pages for r in steady) / len(steady)
+
+    def to_dict(self) -> dict[str, float | str]:
+        """Flat summary, for report tables."""
+        return {
+            "system": self.system,
+            "workload": self.workload,
+            "throughput": self.throughput,
+            "mean_latency": self.mean_latency,
+            "p99_latency": self.p99_latency,
+            "tlb_misses": self.tlb_misses,
+            "well_aligned_rate": self.well_aligned_rate,
+            "huge_pages": self.huge_pages,
+            "bloat_pages": self.bloat_pages,
+        }

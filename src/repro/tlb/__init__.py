@@ -1,0 +1,23 @@
+"""TLB modelling: cycle-cost constants, a trace-driven set-associative TLB,
+and the analytic capacity model used for epoch-level simulation."""
+
+from repro.tlb import costs
+from repro.tlb.cache import SetAssociativeTLB, TLBStats
+from repro.tlb.model import (
+    SegmentResult,
+    TLBConfig,
+    TLBModel,
+    TranslationSegment,
+    TranslationStats,
+)
+
+__all__ = [
+    "SegmentResult",
+    "SetAssociativeTLB",
+    "TLBConfig",
+    "TLBModel",
+    "TLBStats",
+    "TranslationSegment",
+    "TranslationStats",
+    "costs",
+]

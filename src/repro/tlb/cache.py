@@ -1,0 +1,90 @@
+"""Trace-driven set-associative TLB.
+
+Models the shared second-level TLB of the paper's testbed (Section 6.1:
+1536 entries shared between 4 KiB and 2 MiB pages per core).  Both page
+sizes compete for the same entries, each tagged with its size so a 2 MiB
+entry covers 512 base pages.
+
+This trace-driven cache backs the Figure 2 microbenchmark and serves as a
+ground-truth cross-check for the analytic capacity model in
+:mod:`repro.tlb.model` (see ``tests/tlb/test_model_vs_cache.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mem.layout import huge_region_index
+
+__all__ = ["TLBStats", "SetAssociativeTLB"]
+
+
+@dataclass
+class TLBStats:
+    """Hit/miss counters for one TLB instance."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class _Set:
+    """One associativity set with LRU ordering (front == LRU)."""
+
+    keys: list[tuple[int, int]] = field(default_factory=list)
+
+
+class SetAssociativeTLB:
+    """LRU set-associative TLB shared between 4 KiB and 2 MiB entries."""
+
+    def __init__(self, entries: int = 1536, ways: int = 12) -> None:
+        if entries <= 0 or ways <= 0:
+            raise ValueError("entries and ways must be positive")
+        if entries % ways != 0:
+            raise ValueError(f"{entries} entries not divisible by {ways} ways")
+        self.entries = entries
+        self.ways = ways
+        self.nsets = entries // ways
+        self._sets = [_Set() for _ in range(self.nsets)]
+        self.stats = TLBStats()
+
+    def access(self, vpn: int, huge: bool = False) -> bool:
+        """Look up the translation for base VPN *vpn*; fill on miss.
+
+        For huge mappings the lookup key is the 2 MiB region index, so all
+        512 VPNs of an aligned huge page share one entry.  Returns True on
+        hit.
+        """
+        key = (1, huge_region_index(vpn)) if huge else (0, vpn)
+        tlb_set = self._sets[key[1] % self.nsets]
+        if key in tlb_set.keys:
+            tlb_set.keys.remove(key)
+            tlb_set.keys.append(key)
+            self.stats.hits += 1
+            return True
+        if len(tlb_set.keys) >= self.ways:
+            tlb_set.keys.pop(0)
+        tlb_set.keys.append(key)
+        self.stats.misses += 1
+        return False
+
+    def flush(self) -> None:
+        """Invalidate every entry (context switch / shoot-down)."""
+        for tlb_set in self._sets:
+            tlb_set.keys.clear()
+
+    def reset_stats(self) -> None:
+        self.stats = TLBStats()
+
+    @property
+    def occupancy(self) -> int:
+        """Number of currently-valid entries."""
+        return sum(len(s.keys) for s in self._sets)

@@ -1,0 +1,52 @@
+"""Cycle-cost constants for the performance model.
+
+Every cost in the simulator is expressed in abstract CPU cycles.  Absolute
+values are calibrated to commodity x86 latencies only loosely — the paper's
+claims that this reproduction targets are *relative* (who wins, by what
+rough factor), and those depend on ratios between these constants, all of
+which are grounded in the paper or its references:
+
+* a nested base-page walk costs ~6x a native walk (Section 1);
+* page migrations are expensive and trigger TLB shoot-downs whose cost is
+  amplified on virtualized systems (Section 6.2, citing [52-54]);
+* demand-paging a huge page zeroes 512x the memory of a base fault.
+"""
+
+from __future__ import annotations
+
+#: Cycles for a memory access that hits the TLB (the translation component
+#: only; data-cache behaviour is outside the model's scope).
+TLB_HIT_CYCLES = 1.0
+
+#: Baseline per-access execution cost (compute + data access) excluding
+#: address translation.  Sets the ceiling on how much translation overhead
+#: can matter, i.e. the TLB-sensitivity of a workload with weight 1.0.
+BASE_ACCESS_CYCLES = 6.0
+
+#: Cost of servicing one base-page demand fault (allocation, zeroing, PTE
+#: install).
+BASE_FAULT_CYCLES = 2_000.0
+
+#: Extra cost of zeroing/installing a full 2 MiB page on a huge fault.
+HUGE_FAULT_CYCLES = 60_000.0
+
+#: In-place promotion: page-table surgery plus a TLB shoot-down, no copy.
+INPLACE_PROMOTION_CYCLES = 5_000.0
+
+#: Copying one base page during compaction/migration-based promotion.
+PAGE_COPY_CYCLES = 3_000.0
+
+#: One TLB shoot-down (IPI round).  Costlier on virtualized systems where
+#: vCPU preemption amplifies IPI latency; the factor below applies then.
+TLB_SHOOTDOWN_CYCLES = 8_000.0
+VIRT_SHOOTDOWN_FACTOR = 3.0
+
+#: Cost of one copy-on-write fault (used by the HawkEye zero-page
+#: deduplication model, Section 6.2's Specjbb anomaly).
+COW_FAULT_CYCLES = 4_000.0
+
+#: Cost of scanning one page-table region in a background daemon pass
+#: (khugepaged / MHPS style).  Background work is charged at a discount
+#: since it mostly overlaps with idle cores.
+SCAN_REGION_CYCLES = 30.0
+BACKGROUND_DISCOUNT = 0.25

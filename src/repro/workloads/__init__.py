@@ -1,0 +1,29 @@
+"""Workload models: the interface, generic families, the Table 2 suite,
+and the Figure 2 microbenchmark."""
+
+from repro.workloads.base import AccessPhase, Workload, WorkloadContext
+from repro.workloads.families import DynamicChurnWorkload, StaticArrayWorkload
+from repro.workloads.microbench import RandomAccessMicrobench
+from repro.workloads.suite import (
+    LATENCY_SUITE,
+    MOTIVATION_SUITE,
+    NON_TLB_SENSITIVE,
+    TLB_SENSITIVE_SUITE,
+    make_workload,
+    workload_names,
+)
+
+__all__ = [
+    "AccessPhase",
+    "DynamicChurnWorkload",
+    "LATENCY_SUITE",
+    "MOTIVATION_SUITE",
+    "NON_TLB_SENSITIVE",
+    "RandomAccessMicrobench",
+    "StaticArrayWorkload",
+    "TLB_SENSITIVE_SUITE",
+    "Workload",
+    "WorkloadContext",
+    "make_workload",
+    "workload_names",
+]

@@ -1,0 +1,130 @@
+"""Workload model interface.
+
+Trace-level reproduction of the paper's applications is impossible (no
+binaries, no 30 GiB working sets), so each application in Table 2 is
+modelled by its *memory behaviour* as the paper characterises it:
+footprint, allocation dynamics (large static arrays vs. gradually-grown
+dynamic structures with churn), access skew, latency reporting, and TLB
+sensitivity.  A workload acts on its VM through a
+:class:`WorkloadContext` (mmap / touch / munmap) and describes each
+epoch's accesses with :class:`AccessPhase` records that the engine turns
+into TLB-model segments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.mem.layout import MIB, PAGE_SIZE
+from repro.os.vma import VMA
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hypervisor.platform import Platform
+    from repro.hypervisor.vm import VM
+
+__all__ = ["AccessPhase", "WorkloadContext", "Workload"]
+
+
+@dataclass(frozen=True)
+class AccessPhase:
+    """One epoch's accesses to one VMA.
+
+    *weight* is the share of the epoch's accesses going to this VMA;
+    *hot_fraction* concentrates them on a prefix of the VMA (a simple skew
+    model: `hot_fraction=0.2` means the accesses spread over the first 20%
+    of the VMA's pages).
+    """
+
+    vma: str
+    weight: float = 1.0
+    hot_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError(f"negative access weight: {self.weight}")
+        if not 0.0 < self.hot_fraction <= 1.0:
+            raise ValueError(f"hot_fraction out of (0, 1]: {self.hot_fraction}")
+
+
+class WorkloadContext:
+    """The memory API a workload drives its VM through."""
+
+    def __init__(self, platform: "Platform", vm: "VM", seed: int = 0) -> None:
+        self.platform = platform
+        self.vm = vm
+        self.rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def mmap(self, name: str, npages: int) -> VMA:
+        return self.vm.mmap(npages, name)
+
+    def mmap_mib(self, name: str, mib: float) -> VMA:
+        return self.mmap(name, max(1, int(mib * MIB / PAGE_SIZE)))
+
+    def munmap(self, name: str) -> None:
+        self.vm.munmap(name)
+
+    def has(self, name: str) -> bool:
+        return name in self.vm.address_space
+
+    def vma(self, name: str) -> VMA:
+        return self.vm.address_space.vma(name)
+
+    def vma_names(self) -> list[str]:
+        return [vma.name for vma in self.vm.address_space.vmas()]
+
+    # ------------------------------------------------------------------
+    # Touching (demand faulting)
+    # ------------------------------------------------------------------
+
+    def touch(self, name: str, start: int = 0, npages: int | None = None) -> None:
+        """First-touch a slice of the named VMA (offsets VMA-relative)."""
+        vma = self.vma(name)
+        self.platform.touch_vma(self.vm, vma, start=start, npages=npages)
+
+    def touch_all(self, name: str) -> None:
+        self.touch(name)
+
+
+class Workload:
+    """Base class for application models.
+
+    Subclasses override :meth:`setup`, :meth:`run_epoch` and
+    :meth:`access_phases`.  Class attributes describe the performance-model
+    characteristics:
+
+    * ``tlb_sensitivity`` — the fraction of baseline runtime spent on
+      address translation; the performance model derives the per-access
+      compute cost from it (lower sensitivity => translation matters less);
+    * ``reports_latency`` — whether the application reports request
+      latencies (TailBench-style servers do, PARSEC/NPB jobs do not);
+    * ``zero_page_dedup_rate`` — copy-on-write faults per operation when
+      running under a policy that deduplicates zero pages (HawkEye).
+    """
+
+    name = "workload"
+    description = ""
+    tlb_sensitivity = 0.35
+    reports_latency = False
+    zero_page_dedup_rate = 0.0
+    accesses_per_epoch = 2_000_000.0
+    ops_per_epoch = 20_000.0
+    default_epochs = 16
+
+    def setup(self, ctx: WorkloadContext) -> None:
+        """Initial allocations, before the first epoch."""
+
+    def run_epoch(self, ctx: WorkloadContext, epoch: int) -> None:
+        """Allocation/free/touch activity of one epoch."""
+
+    def access_phases(self, epoch: int) -> list[AccessPhase]:
+        """Where this epoch's accesses go."""
+        return []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,144 @@
+"""Generic workload families.
+
+Two memory-behaviour archetypes cover the paper's application suite
+(Section 6.2 explains the split):
+
+* :class:`StaticArrayWorkload` — "allocate large memory regions with
+  static arrays and use them uniformly" (SVM, CG.D, 429.mcf, PARSEC
+  kernels): a few big VMAs faulted in up front, dense uniform access,
+  no churn.
+* :class:`DynamicChurnWorkload` — "allocate large memory gradually and
+  use dynamic data structures to save temporary data" (Redis, RocksDB,
+  the TailBench servers): the footprint grows segment by segment, old
+  segments are freed and replaced continuously, and accesses skew to a
+  hot subset.
+"""
+
+from __future__ import annotations
+
+from repro.mem.layout import MIB, PAGE_SIZE
+from repro.workloads.base import AccessPhase, Workload, WorkloadContext
+
+__all__ = ["StaticArrayWorkload", "DynamicChurnWorkload"]
+
+
+def _mib_to_pages(mib: float) -> int:
+    return max(1, int(mib * MIB / PAGE_SIZE))
+
+
+class StaticArrayWorkload(Workload):
+    """Big static arrays, faulted up front, accessed uniformly."""
+
+    def __init__(
+        self,
+        name: str,
+        footprint_mib: float = 64.0,
+        arrays: int = 2,
+        hot_fraction: float = 1.0,
+        tlb_sensitivity: float = 0.35,
+        reports_latency: bool = False,
+        description: str = "",
+    ) -> None:
+        self.name = name
+        self.description = description
+        self.footprint_mib = footprint_mib
+        self.arrays = arrays
+        self.hot_fraction = hot_fraction
+        self.tlb_sensitivity = tlb_sensitivity
+        self.reports_latency = reports_latency
+
+    def setup(self, ctx: WorkloadContext) -> None:
+        pages_per_array = _mib_to_pages(self.footprint_mib) // self.arrays
+        for index in range(self.arrays):
+            name = f"array{index}"
+            ctx.mmap(name, pages_per_array)
+            ctx.touch_all(name)
+
+    def access_phases(self, epoch: int) -> list[AccessPhase]:
+        share = 1.0 / self.arrays
+        return [
+            AccessPhase(f"array{i}", weight=share, hot_fraction=self.hot_fraction)
+            for i in range(self.arrays)
+        ]
+
+
+class DynamicChurnWorkload(Workload):
+    """Gradually-grown footprint with continuous free/reallocate churn."""
+
+    def __init__(
+        self,
+        name: str,
+        footprint_mib: float = 64.0,
+        segments: int = 16,
+        grow_epochs: int = 8,
+        churn_segments: int = 1,
+        hot_fraction: float = 0.35,
+        hot_recency_bias: float = 3.0,
+        tlb_sensitivity: float = 0.35,
+        reports_latency: bool = True,
+        zero_page_dedup_rate: float = 0.0,
+        description: str = "",
+    ) -> None:
+        if segments <= 0 or grow_epochs <= 0:
+            raise ValueError("segments and grow_epochs must be positive")
+        self.name = name
+        self.description = description
+        self.footprint_mib = footprint_mib
+        self.segments = segments
+        self.grow_epochs = grow_epochs
+        self.churn_segments = churn_segments
+        self.hot_fraction = hot_fraction
+        self.hot_recency_bias = hot_recency_bias
+        self.tlb_sensitivity = tlb_sensitivity
+        self.reports_latency = reports_latency
+        self.zero_page_dedup_rate = zero_page_dedup_rate
+        self._segment_pages = _mib_to_pages(footprint_mib) // segments
+        self._live: list[str] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+
+    def _allocate_segment(self, ctx: WorkloadContext) -> None:
+        name = f"seg{self._next_id}"
+        self._next_id += 1
+        ctx.mmap(name, self._segment_pages)
+        ctx.touch_all(name)
+        self._live.append(name)
+
+    def setup(self, ctx: WorkloadContext) -> None:
+        self._live = []
+        self._next_id = 0
+        per_epoch = max(1, self.segments // self.grow_epochs)
+        for _ in range(per_epoch):
+            self._allocate_segment(ctx)
+
+    def run_epoch(self, ctx: WorkloadContext, epoch: int) -> None:
+        per_epoch = max(1, self.segments // self.grow_epochs)
+        # Growth phase: keep allocating until the footprint is reached.
+        if len(self._live) < self.segments:
+            for _ in range(per_epoch):
+                if len(self._live) >= self.segments:
+                    break
+                self._allocate_segment(ctx)
+            return
+        # Steady state: churn — free random old segments, allocate fresh
+        # replacements (temporary data of dynamic structures).
+        for _ in range(self.churn_segments):
+            victim_index = ctx.rng.randrange(len(self._live))
+            victim = self._live.pop(victim_index)
+            ctx.munmap(victim)
+            self._allocate_segment(ctx)
+
+    def access_phases(self, epoch: int) -> list[AccessPhase]:
+        if not self._live:
+            return []
+        # Recency bias: newer segments are hotter (temporary data is hot).
+        weights = [
+            self.hot_recency_bias ** (index / max(1, len(self._live) - 1))
+            for index in range(len(self._live))
+        ]
+        total = sum(weights)
+        return [
+            AccessPhase(name, weight=w / total, hot_fraction=self.hot_fraction)
+            for name, w in zip(self._live, weights)
+        ]

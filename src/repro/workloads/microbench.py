@@ -1,0 +1,38 @@
+"""The Figure 2 microbenchmark: random accesses over a data set of varying
+size, under the four static page-size configurations (Host-{B,H} x VM-{B,H}).
+
+One VMA holds the data set; every epoch accesses it uniformly at random.
+Swept over data-set sizes, the expected shape (Section 2.2):
+
+* small data sets fit the TLB in every configuration — similar performance;
+* large data sets: only Host-H-VM-H (well-aligned huge pages) keeps TLB
+  misses low; the two mis-aligned configurations splinter into base-page
+  translations and track Host-B-VM-B, except for their slightly cheaper
+  page walks.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import AccessPhase, Workload, WorkloadContext
+
+__all__ = ["RandomAccessMicrobench"]
+
+
+class RandomAccessMicrobench(Workload):
+    """Uniform random access over one array of a configurable size."""
+
+    reports_latency = False
+    tlb_sensitivity = 0.5
+    default_epochs = 6
+
+    def __init__(self, dataset_mib: float) -> None:
+        self.name = f"microbench-{dataset_mib:g}MiB"
+        self.description = "random-access microbenchmark (Figure 2)"
+        self.dataset_mib = dataset_mib
+
+    def setup(self, ctx: WorkloadContext) -> None:
+        ctx.mmap_mib("data", self.dataset_mib)
+        ctx.touch_all("data")
+
+    def access_phases(self, epoch: int) -> list[AccessPhase]:
+        return [AccessPhase("data", weight=1.0, hot_fraction=1.0)]

@@ -1,0 +1,230 @@
+"""The paper's application suite (Table 2), as workload models.
+
+Footprints are scaled from the paper's tens-of-GiB working sets down to
+tens of MiB; the simulator's TLB capacity is scaled by the same factor
+(see :mod:`repro.sim.config`), so each workload's working-set :
+TLB-reach ratio stays in the paper's regime.  The per-workload behaviour
+follows the paper's own characterisation:
+
+* Redis / RocksDB / Memcached "allocate large memory (more than 10GB)
+  gradually and use dynamic data structures to save temporary data"
+  (Section 6.2) — large dynamic footprints, heavy churn;
+* SVM / CG.D "allocate large memory regions with static arrays and use
+  them uniformly" — static arrays, dense uniform access;
+* Shore and NPB SP.D are the two non-TLB-sensitive applications used in
+  the applicability study (Sections 6.1 and 6.5);
+* Specjbb's in-use zero pages are deduplicated by HawkEye, adding CoW
+  faults (Section 6.2) — modelled by ``zero_page_dedup_rate``.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.families import DynamicChurnWorkload, StaticArrayWorkload
+
+__all__ = [
+    "make_workload",
+    "workload_names",
+    "TLB_SENSITIVE_SUITE",
+    "LATENCY_SUITE",
+    "MOTIVATION_SUITE",
+    "NON_TLB_SENSITIVE",
+]
+
+
+def _img_dnn() -> Workload:
+    return DynamicChurnWorkload(
+        "Img-dnn", footprint_mib=48, segments=12, churn_segments=2,
+        hot_fraction=0.4, tlb_sensitivity=0.40, reports_latency=True,
+        description="Handwriting recognition (OpenCV); TailBench",
+    )
+
+
+def _sphinx() -> Workload:
+    return DynamicChurnWorkload(
+        "Sphinx", footprint_mib=40, segments=10, churn_segments=1,
+        hot_fraction=0.35, tlb_sensitivity=0.35, reports_latency=True,
+        description="Speech recognition; TailBench",
+    )
+
+
+def _moses() -> Workload:
+    return DynamicChurnWorkload(
+        "Moses", footprint_mib=40, segments=10, churn_segments=1,
+        hot_fraction=0.45, tlb_sensitivity=0.33, reports_latency=True,
+        description="Statistical machine translation; TailBench",
+    )
+
+
+def _xapian() -> Workload:
+    return DynamicChurnWorkload(
+        "Xapian", footprint_mib=44, segments=22, churn_segments=3,
+        hot_fraction=0.35, tlb_sensitivity=0.36, reports_latency=True,
+        description="Search engine; TailBench (many small allocations)",
+    )
+
+
+def _masstree() -> Workload:
+    return DynamicChurnWorkload(
+        "Masstree", footprint_mib=64, segments=16, churn_segments=2,
+        hot_fraction=0.30, tlb_sensitivity=0.45, reports_latency=True,
+        description="In-memory K/V store, 50% GET / 50% PUT",
+    )
+
+
+def _specjbb() -> Workload:
+    return DynamicChurnWorkload(
+        "Specjbb", footprint_mib=64, segments=16, churn_segments=2,
+        hot_fraction=0.35, tlb_sensitivity=0.45, reports_latency=True,
+        zero_page_dedup_rate=0.3,
+        description="Java middleware benchmark (zero-page heavy heap)",
+    )
+
+
+def _silo() -> Workload:
+    return DynamicChurnWorkload(
+        "Silo", footprint_mib=56, segments=14, churn_segments=2,
+        hot_fraction=0.30, tlb_sensitivity=0.38, reports_latency=True,
+        description="In-memory transactional database, TPC-C",
+    )
+
+
+def _shore() -> Workload:
+    return DynamicChurnWorkload(
+        "Shore", footprint_mib=24, segments=6, churn_segments=1,
+        hot_fraction=0.5, tlb_sensitivity=0.04, reports_latency=True,
+        description="On-disk transactional database (non-TLB-sensitive)",
+    )
+
+
+def _rocksdb() -> Workload:
+    return DynamicChurnWorkload(
+        "RocksDB", footprint_mib=80, segments=20, churn_segments=4,
+        hot_fraction=0.30, tlb_sensitivity=0.42, reports_latency=True,
+        description="LSM K/V store, random keys, 50% SET / 50% GET",
+    )
+
+
+def _redis() -> Workload:
+    return DynamicChurnWorkload(
+        "Redis", footprint_mib=80, segments=20, churn_segments=4,
+        hot_fraction=0.30, tlb_sensitivity=0.40, reports_latency=True,
+        description="In-memory K/V database, random keys, 50% SET / 50% GET",
+    )
+
+
+def _memcached() -> Workload:
+    return DynamicChurnWorkload(
+        "Memcached", footprint_mib=72, segments=18, churn_segments=3,
+        hot_fraction=0.30, tlb_sensitivity=0.44, reports_latency=True,
+        description="Slab-allocated K/V cache, random keys",
+    )
+
+
+def _canneal() -> Workload:
+    return StaticArrayWorkload(
+        "Canneal", footprint_mib=64, arrays=2, hot_fraction=0.8,
+        tlb_sensitivity=0.38,
+        description="PARSEC simulated annealing (pointer-chasing)",
+    )
+
+
+def _streamcluster() -> Workload:
+    return StaticArrayWorkload(
+        "Streamcluster", footprint_mib=56, arrays=2, hot_fraction=0.9,
+        tlb_sensitivity=0.34,
+        description="PARSEC online clustering (streaming)",
+    )
+
+
+def _dedup() -> Workload:
+    return DynamicChurnWorkload(
+        "dedup", footprint_mib=48, segments=12, churn_segments=3,
+        hot_fraction=0.45, tlb_sensitivity=0.32, reports_latency=False,
+        description="PARSEC pipelined compression",
+    )
+
+
+def _cg_d() -> Workload:
+    return StaticArrayWorkload(
+        "CG.D", footprint_mib=88, arrays=3, hot_fraction=1.0,
+        tlb_sensitivity=0.50,
+        description="NPB conjugate gradient (large static arrays, uniform)",
+    )
+
+
+def _sp_d() -> Workload:
+    return StaticArrayWorkload(
+        "SP.D", footprint_mib=24, arrays=2, hot_fraction=0.5,
+        tlb_sensitivity=0.04,
+        description="NPB scalar penta-diagonal (non-TLB-sensitive)",
+    )
+
+
+def _mcf() -> Workload:
+    return StaticArrayWorkload(
+        "429.mcf", footprint_mib=64, arrays=2, hot_fraction=0.9,
+        tlb_sensitivity=0.46,
+        description="SPEC CPU2006 network simplex (pointer-heavy)",
+    )
+
+
+def _svm() -> Workload:
+    return StaticArrayWorkload(
+        "SVM", footprint_mib=96, arrays=2, hot_fraction=1.0,
+        tlb_sensitivity=0.48,
+        description="Large-scale linear rankSVM (dense static arrays)",
+    )
+
+
+_FACTORIES = {
+    "Img-dnn": _img_dnn,
+    "Sphinx": _sphinx,
+    "Moses": _moses,
+    "Xapian": _xapian,
+    "Masstree": _masstree,
+    "Specjbb": _specjbb,
+    "Silo": _silo,
+    "Shore": _shore,
+    "RocksDB": _rocksdb,
+    "Redis": _redis,
+    "Memcached": _memcached,
+    "Canneal": _canneal,
+    "Streamcluster": _streamcluster,
+    "dedup": _dedup,
+    "CG.D": _cg_d,
+    "SP.D": _sp_d,
+    "429.mcf": _mcf,
+    "SVM": _svm,
+}
+
+#: The 16 TLB-sensitive workloads of Tables 3/4 and Figures 8-15.
+TLB_SENSITIVE_SUITE = [
+    "Img-dnn", "Sphinx", "Moses", "Xapian", "Masstree", "Specjbb", "Silo",
+    "RocksDB", "Redis", "Memcached", "Canneal", "Streamcluster", "dedup",
+    "CG.D", "429.mcf", "SVM",
+]
+
+#: Workloads that report request latencies (Figures 9/10/13/14).
+LATENCY_SUITE = [
+    "Img-dnn", "Sphinx", "Moses", "Xapian", "Masstree", "Specjbb", "Silo",
+    "RocksDB", "Redis", "Memcached",
+]
+
+#: The four workloads of the motivation study (Figure 3 / Table 1).
+MOTIVATION_SUITE = ["Canneal", "Streamcluster", "Img-dnn", "Specjbb"]
+
+#: Non-TLB-sensitive applications for the applicability study (Fig. 17/18).
+NON_TLB_SENSITIVE = ["Shore", "SP.D"]
+
+
+def make_workload(name: str) -> Workload:
+    """Instantiate a fresh workload model by its Table 2 name."""
+    if name not in _FACTORIES:
+        known = ", ".join(sorted(_FACTORIES))
+        raise KeyError(f"unknown workload {name!r}; known: {known}")
+    return _FACTORIES[name]()
+
+
+def workload_names() -> list[str]:
+    return list(_FACTORIES)

@@ -1,0 +1,188 @@
+"""Unit tests for reserved-region pools, booking and Algorithm 1."""
+
+import pytest
+
+from repro.core.booking import BookingTable, ReservedRegionPool, TimeoutController
+from repro.mem.layout import PAGES_PER_HUGE
+from repro.mem.physmem import PhysicalMemory
+from repro.os.mm import MemoryLayer
+from repro.policies.base import HugePagePolicy
+
+
+def make_layer(regions=8):
+    return MemoryLayer(
+        "test", PhysicalMemory(regions * PAGES_PER_HUGE), HugePagePolicy()
+    )
+
+
+def test_reserve_free_takes_region_out_of_buddy():
+    layer = make_layer()
+    pool = ReservedRegionPool(layer)
+    assert pool.reserve_free(2, expiry=10.0)
+    assert 2 in pool
+    assert not layer.memory.is_free(2 * PAGES_PER_HUGE)
+    assert pool.reserved_pages == PAGES_PER_HUGE
+
+
+def test_reserve_fails_when_region_not_free():
+    layer = make_layer()
+    layer.memory.alloc_at(2 * PAGES_PER_HUGE + 5, 0)
+    pool = ReservedRegionPool(layer)
+    assert not pool.reserve_free(2, expiry=10.0)
+    assert 2 not in pool
+
+
+def test_reserve_twice_rejected():
+    layer = make_layer()
+    pool = ReservedRegionPool(layer)
+    assert pool.reserve_free(2, 10.0)
+    assert not pool.reserve_free(2, 10.0)
+
+
+def test_claim_region_whole():
+    layer = make_layer()
+    pool = ReservedRegionPool(layer)
+    pool.reserve_free(2, 10.0)
+    assert pool.claim_region(2) == 2
+    assert 2 not in pool
+    # Region stays allocated (now owned by the mapping).
+    assert not layer.memory.is_free(2 * PAGES_PER_HUGE)
+
+
+def test_claim_region_any_untouched():
+    layer = make_layer()
+    pool = ReservedRegionPool(layer)
+    pool.reserve_free(2, 10.0)
+    pool.reserve_free(3, 10.0)
+    pool.claim_page(3 * PAGES_PER_HUGE)  # region 3 is now touched
+    assert pool.claim_region() == 2
+
+
+def test_claim_region_by_purpose():
+    layer = make_layer()
+    pool = ReservedRegionPool(layer)
+    pool.reserve_free(2, 10.0, purpose=("vm", 7))
+    assert pool.has_purpose(("vm", 7))
+    assert pool.claim_region(purpose=("vm", 7)) == 2
+    assert not pool.has_purpose(("vm", 7))
+    assert pool.claim_region(purpose=("vm", 7)) is None
+
+
+def test_claim_page_hands_out_frames():
+    layer = make_layer()
+    pool = ReservedRegionPool(layer)
+    pool.reserve_free(2, 10.0)
+    frame = 2 * PAGES_PER_HUGE + 17
+    assert pool.claim_page(frame)
+    assert not pool.claim_page(frame)  # already handed
+    assert pool.reserved_pages == PAGES_PER_HUGE - 1
+    # A touched region cannot be claimed whole any more.
+    assert pool.claim_region(2) is None
+
+
+def test_claim_page_outside_pool():
+    layer = make_layer()
+    pool = ReservedRegionPool(layer)
+    assert not pool.claim_page(17)
+
+
+def test_fully_handed_region_leaves_pool():
+    layer = make_layer()
+    pool = ReservedRegionPool(layer)
+    pool.reserve_free(2, 10.0)
+    start = 2 * PAGES_PER_HUGE
+    for frame in range(start, start + PAGES_PER_HUGE):
+        assert pool.claim_page(frame)
+    assert 2 not in pool
+    assert pool.reserved_pages == 0
+
+
+def test_expire_returns_unhanded_pages():
+    layer = make_layer()
+    pool = ReservedRegionPool(layer)
+    pool.reserve_free(2, expiry=5.0)
+    pool.claim_page(2 * PAGES_PER_HUGE)
+    assert pool.expire(now=4.9) == 0
+    released = pool.expire(now=5.0)
+    assert released == PAGES_PER_HUGE - 1
+    assert 2 not in pool
+    # Handed frame stays allocated; the rest went back to the buddy.
+    assert not layer.memory.is_free(2 * PAGES_PER_HUGE)
+    assert layer.memory.is_free(2 * PAGES_PER_HUGE + 1)
+
+
+def test_release_all():
+    layer = make_layer()
+    pool = ReservedRegionPool(layer)
+    pool.reserve_free(2, 100.0)
+    pool.reserve_free(3, 100.0)
+    released = pool.release_all()
+    assert released == 2 * PAGES_PER_HUGE
+    assert len(pool) == 0
+
+
+def test_absorb_allocated_region():
+    layer = make_layer()
+    layer.memory.alloc_range(2 * PAGES_PER_HUGE, PAGES_PER_HUGE)
+    pool = ReservedRegionPool(layer)
+    assert pool.absorb(2, 10.0)
+    assert pool.expire(11.0) == PAGES_PER_HUGE
+    assert layer.memory.is_free(2 * PAGES_PER_HUGE)
+
+
+def test_booking_table_counts_and_uses_controller():
+    layer = make_layer()
+    controller = TimeoutController(initial=4.0, period=2)
+    booking = BookingTable(layer, controller)
+    assert booking.book(2, now=0.0)
+    assert booking.booked_total == 1
+    # Expiry honours the controller's effective timeout (4.0).
+    assert booking.expire(3.9) == 0
+    assert booking.expire(4.0) == PAGES_PER_HUGE
+    assert booking.expired_total == 1
+
+
+def test_timeout_controller_validation():
+    with pytest.raises(ValueError):
+        TimeoutController(initial=0)
+    with pytest.raises(ValueError):
+        TimeoutController(period=0)
+
+
+def test_timeout_controller_adopts_improvement():
+    controller = TimeoutController(initial=10.0, period=1)
+    # Baseline window.
+    controller.observe(tlb_misses=100.0, fmfi=0.5)
+    assert controller.effective == pytest.approx(11.0)  # trial +10%
+    # Trial window: misses improved, fragmentation unchanged -> adopt.
+    controller.observe(tlb_misses=90.0, fmfi=0.5)
+    assert controller.desired == pytest.approx(11.0)
+    assert controller.adjustments == 1
+
+
+def test_timeout_controller_rejects_worse_trial_then_tries_down():
+    controller = TimeoutController(initial=10.0, period=1)
+    controller.observe(100.0, 0.5)   # baseline
+    controller.observe(110.0, 0.5)   # +10% trial made things worse
+    assert controller.desired == pytest.approx(10.0)
+    assert controller.effective == pytest.approx(10.0)
+    controller.observe(100.0, 0.5)   # fresh baseline
+    assert controller.effective == pytest.approx(9.0)  # -10% trial
+    controller.observe(80.0, 0.4)    # improved -> adopt
+    assert controller.desired == pytest.approx(9.0)
+
+
+def test_timeout_controller_rejects_fragmentation_increase():
+    controller = TimeoutController(initial=10.0, period=1)
+    controller.observe(100.0, 0.5)
+    # Misses improved but fragmentation got worse: reject.
+    controller.observe(50.0, 0.6)
+    assert controller.desired == pytest.approx(10.0)
+
+
+def test_timeout_controller_clamps():
+    controller = TimeoutController(
+        initial=10.0, period=1, min_timeout=9.5, max_timeout=10.4
+    )
+    controller.observe(100.0, 0.5)
+    assert controller.effective == pytest.approx(10.4)  # clamped from 11.0

@@ -1,0 +1,78 @@
+"""Property-based tests for the reserved-region pool."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.booking import ReservedRegionPool
+from repro.mem.layout import PAGES_PER_HUGE
+from repro.mem.physmem import PhysicalMemory
+from repro.os.mm import MemoryLayer
+from repro.policies.base import HugePagePolicy
+
+REGIONS = 8
+TOTAL = REGIONS * PAGES_PER_HUGE
+
+
+def pool_conservation(layer, pool, handed_out):
+    """Free + reserved + handed-out-page count must equal total memory."""
+    assert (
+        layer.memory.free_pages + pool.reserved_pages + handed_out == TOTAL
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["reserve", "claim_region", "claim_page", "expire", "release"]),
+            st.integers(min_value=0, max_value=REGIONS - 1),
+            st.integers(min_value=0, max_value=PAGES_PER_HUGE - 1),
+        ),
+        max_size=50,
+    )
+)
+def test_reservation_conservation(ops):
+    layer = MemoryLayer("prop", PhysicalMemory(TOTAL), HugePagePolicy())
+    pool = ReservedRegionPool(layer)
+    handed = 0  # pages handed out (to mappings) or claimed as regions
+    clock = 0.0
+    for op, region, offset in ops:
+        clock += 1.0
+        if op == "reserve":
+            pool.reserve_free(region, expiry=clock + 5.0)
+        elif op == "claim_region":
+            if pool.claim_region(region) is not None:
+                handed += PAGES_PER_HUGE
+        elif op == "claim_page":
+            frame = region * PAGES_PER_HUGE + offset
+            if pool.claim_page(frame):
+                handed += 1
+        elif op == "expire":
+            pool.expire(clock)
+        elif op == "release":
+            pool.release_all()
+        pool_conservation(layer, pool, handed)
+    # Draining everything returns the remainder to the buddy.
+    pool.release_all()
+    assert layer.memory.free_pages == TOTAL - handed
+
+
+@settings(max_examples=30, deadline=None)
+@given(frames=st.sets(st.integers(min_value=0, max_value=PAGES_PER_HUGE - 1), min_size=1))
+def test_partial_handout_then_expiry(frames):
+    layer = MemoryLayer("prop", PhysicalMemory(TOTAL), HugePagePolicy())
+    pool = ReservedRegionPool(layer)
+    assert pool.reserve_free(2, expiry=10.0)
+    base = 2 * PAGES_PER_HUGE
+    for offset in frames:
+        assert pool.claim_page(base + offset)
+    released = pool.expire(10.0)
+    if len(frames) == PAGES_PER_HUGE:
+        # Fully handed out: the reservation already dissolved.
+        assert released == 0
+    else:
+        assert released == PAGES_PER_HUGE - len(frames)
+    # Handed frames stay allocated; everything else is free again.
+    for offset in range(PAGES_PER_HUGE):
+        expected_free = offset not in frames
+        assert layer.memory.is_free(base + offset) == expected_free

@@ -1,0 +1,72 @@
+"""Unit tests for the huge bucket."""
+
+from repro.core.bucket import HugeBucket
+from repro.mem.layout import PAGES_PER_HUGE
+from repro.mem.physmem import PhysicalMemory
+from repro.os.mm import MemoryLayer
+from repro.policies.base import HugePagePolicy
+
+
+def make_layer(regions=8):
+    return MemoryLayer(
+        "test", PhysicalMemory(regions * PAGES_PER_HUGE), HugePagePolicy()
+    )
+
+
+def allocated_region(layer, pregion):
+    layer.memory.alloc_range(pregion * PAGES_PER_HUGE, PAGES_PER_HUGE)
+    return pregion
+
+
+def test_offer_take_roundtrip():
+    layer = make_layer()
+    bucket = HugeBucket(layer, hold_epochs=4.0)
+    allocated_region(layer, 3)
+    assert bucket.offer(3)
+    assert bucket.offered_total == 1
+    assert bucket.take() == 3
+    assert bucket.reused_total == 1
+    assert bucket.reuse_rate == 1.0
+    # Taken region remains allocated for the new mapping.
+    assert not layer.memory.is_free(3 * PAGES_PER_HUGE)
+
+
+def test_take_specific():
+    layer = make_layer()
+    bucket = HugeBucket(layer)
+    allocated_region(layer, 2)
+    allocated_region(layer, 5)
+    bucket.offer(2)
+    bucket.offer(5)
+    assert bucket.take_specific(5) == 5
+    assert bucket.take_specific(5) is None
+    assert 2 in bucket
+
+
+def test_tick_expires_after_hold():
+    layer = make_layer()
+    bucket = HugeBucket(layer, hold_epochs=2.0)
+    allocated_region(layer, 3)
+    bucket.tick(10.0)
+    bucket.offer(3)
+    assert bucket.tick(11.0) == 0
+    assert bucket.tick(12.0) == PAGES_PER_HUGE
+    assert layer.memory.is_free(3 * PAGES_PER_HUGE)
+    assert bucket.reuse_rate == 0.0
+
+
+def test_release_all_under_pressure():
+    layer = make_layer()
+    bucket = HugeBucket(layer)
+    allocated_region(layer, 1)
+    allocated_region(layer, 2)
+    bucket.offer(1)
+    bucket.offer(2)
+    assert bucket.release_all() == 2 * PAGES_PER_HUGE
+    assert len(bucket) == 0
+
+
+def test_empty_take():
+    bucket = HugeBucket(make_layer())
+    assert bucket.take() is None
+    assert bucket.reuse_rate == 0.0

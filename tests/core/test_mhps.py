@@ -1,0 +1,75 @@
+"""Unit tests for the misaligned huge page scanner."""
+
+from repro.core.mhps import MisalignedScanner
+from repro.hypervisor.platform import Platform
+from repro.mem.layout import PAGES_PER_HUGE
+from repro.os.mm import PROCESS
+from repro.policies.base import HugePagePolicy
+
+
+def make_platform():
+    platform = Platform(64 * PAGES_PER_HUGE, HugePagePolicy())
+    vm = platform.create_vm(16 * PAGES_PER_HUGE, HugePagePolicy())
+    return platform, vm
+
+
+def test_empty_scan():
+    platform, _vm = make_platform()
+    scanner = MisalignedScanner(platform)
+    result = scanner.scan()
+    assert result.misaligned_guest == {}
+    assert result.misaligned_host == {}
+    assert result.scanned == 0
+    assert scanner.scans == 1
+
+
+def test_detects_misaligned_guest_huge_page():
+    platform, vm = make_platform()
+    vm.gpa_space.alloc_range(2 * PAGES_PER_HUGE, PAGES_PER_HUGE)
+    vm.guest.table(PROCESS).map_huge(0, 2)
+    result = MisalignedScanner(platform).scan()
+    assert result.guest_regions(vm.id) == [2]
+    assert result.host_regions(vm.id) == []
+
+
+def test_detects_misaligned_host_huge_page():
+    platform, vm = make_platform()
+    platform.memory.alloc_range(5 * PAGES_PER_HUGE, PAGES_PER_HUGE)
+    platform.ept(vm.id).map_huge(3, 5)
+    result = MisalignedScanner(platform).scan()
+    assert result.host_regions(vm.id) == [3]
+    assert result.guest_regions(vm.id) == []
+
+
+def test_aligned_pair_not_reported():
+    platform, vm = make_platform()
+    vm.gpa_space.alloc_range(2 * PAGES_PER_HUGE, PAGES_PER_HUGE)
+    platform.memory.alloc_range(5 * PAGES_PER_HUGE, PAGES_PER_HUGE)
+    vm.guest.table(PROCESS).map_huge(0, 2)
+    platform.ept(vm.id).map_huge(2, 5)
+    result = MisalignedScanner(platform).scan()
+    assert result.guest_regions(vm.id) == []
+    assert result.host_regions(vm.id) == []
+    assert result.scanned == 2
+
+
+def test_results_keyed_per_vm():
+    platform, vm1 = make_platform()
+    vm2 = platform.create_vm(16 * PAGES_PER_HUGE, HugePagePolicy())
+    vm1.gpa_space.alloc_range(0, PAGES_PER_HUGE)
+    vm1.guest.table(PROCESS).map_huge(0, 0)
+    platform.memory.alloc_range(7 * PAGES_PER_HUGE, PAGES_PER_HUGE)
+    platform.ept(vm2.id).map_huge(4, 7)
+    result = MisalignedScanner(platform).scan()
+    assert result.guest_regions(vm1.id) == [0]
+    assert result.guest_regions(vm2.id) == []
+    assert result.host_regions(vm2.id) == [4]
+    assert result.host_regions(vm1.id) == []
+
+
+def test_scan_cost_charged_to_host_background():
+    platform, vm = make_platform()
+    vm.gpa_space.alloc_range(0, PAGES_PER_HUGE)
+    vm.guest.table(PROCESS).map_huge(0, 0)
+    MisalignedScanner(platform).scan()
+    assert platform.host.ledger.background_cycles > 0

@@ -1,0 +1,75 @@
+"""Gemini runtime with multiple VMs: per-VM isolation of components."""
+
+from repro.core.policy import GeminiGuestPolicy, GeminiHostPolicy
+from repro.core.mhps import MisalignedScanner
+from repro.core.runtime import GeminiRuntime
+from repro.hypervisor.platform import Platform
+from repro.mem.layout import PAGES_PER_HUGE
+from repro.metrics.alignment import alignment_report
+from repro.os.mm import PROCESS
+
+
+def make_two_vms():
+    platform = Platform(256 * PAGES_PER_HUGE, GeminiHostPolicy(), nodes=2)
+    runtime = GeminiRuntime(platform)
+    vms = []
+    for _ in range(2):
+        vm = platform.create_vm(32 * PAGES_PER_HUGE, GeminiGuestPolicy())
+        runtime.register_vm(vm)
+        vms.append(vm)
+    return platform, runtime, vms
+
+
+def test_per_vm_components_are_isolated():
+    platform, runtime, (vm1, vm2) = make_two_vms()
+    state1 = runtime.guest_state(vm1.id)
+    state2 = runtime.guest_state(vm2.id)
+    assert state1.booking is not state2.booking
+    assert state1.bucket is not state2.bucket
+    assert state1.promoter is not state2.promoter
+    # Policies are bound to their own VM's components.
+    assert vm1.guest.policy.booking is state1.booking
+    assert vm2.guest.policy.booking is state2.booking
+
+
+def test_bookings_target_the_right_vm():
+    platform, runtime, (vm1, vm2) = make_two_vms()
+    # A misaligned host huge page in vm1 only.
+    hp = platform.host.alloc_huge_region()
+    platform.ept(vm1.id).map_huge(4, hp)
+    runtime.epoch(now=0.0)
+    assert 4 in runtime.guest_state(vm1.id).booking
+    assert 4 not in runtime.guest_state(vm2.id).booking
+
+
+def test_host_bookings_keyed_by_vm():
+    platform, runtime, (vm1, vm2) = make_two_vms()
+    for vm in (vm1, vm2):
+        vm.gpa_space.alloc_range(2 * PAGES_PER_HUGE, PAGES_PER_HUGE)
+        vm.guest.table(PROCESS).map_huge(0, 2)
+    runtime.epoch(now=0.0)
+    assert runtime.host_booking.has_purpose((vm1.id, 2))
+    assert runtime.host_booking.has_purpose((vm2.id, 2))
+    # Each VM's EPT fault consumes its own booked page.
+    platform.host.fault(vm1.id, 2 * PAGES_PER_HUGE, full_region=True)
+    assert platform.ept(vm1.id).is_huge(2)
+    assert not platform.ept(vm2.id).is_huge(2)
+
+
+def test_scanner_and_alignment_report_agree():
+    """MHPS's misaligned lists must be the exact complement of the
+    alignment report's aligned counts."""
+    platform, runtime, (vm1, _vm2) = make_two_vms()
+    vma = vm1.mmap(2 * PAGES_PER_HUGE, "arr")
+    for vpn in range(vma.start, vma.end):
+        platform.touch(vm1, vpn)
+    # Force one guest huge mapping (possibly misaligned).
+    vregion = vma.start // PAGES_PER_HUGE
+    if not vm1.table().is_huge(vregion):
+        vm1.guest.promote_with_migration(PROCESS, vregion)
+    result = MisalignedScanner(platform).scan()
+    report = alignment_report(vm1.guest.table(PROCESS), platform.ept(vm1.id))
+    misaligned_guest = len(result.guest_regions(vm1.id))
+    misaligned_host = len(result.host_regions(vm1.id))
+    assert report.guest_huge - report.aligned_guest == misaligned_guest
+    assert report.host_huge - report.aligned_host == misaligned_host

@@ -1,0 +1,124 @@
+"""Unit tests for the Gemini runtime orchestration."""
+
+import pytest
+
+from repro.core.policy import GeminiGuestPolicy, GeminiHostPolicy
+from repro.core.runtime import GeminiConfig, GeminiRuntime
+from repro.hypervisor.platform import Platform
+from repro.mem.layout import PAGES_PER_HUGE
+from repro.os.mm import PROCESS
+from repro.policies.base import HugePagePolicy
+
+
+def make_runtime(config=None):
+    platform = Platform(128 * PAGES_PER_HUGE, GeminiHostPolicy())
+    vm = platform.create_vm(32 * PAGES_PER_HUGE, GeminiGuestPolicy())
+    runtime = GeminiRuntime(platform, config or GeminiConfig())
+    runtime.register_vm(vm)
+    return platform, vm, runtime
+
+
+def test_register_vm_requires_gemini_policy():
+    platform = Platform(128 * PAGES_PER_HUGE, GeminiHostPolicy())
+    vm = platform.create_vm(32 * PAGES_PER_HUGE, HugePagePolicy())
+    runtime = GeminiRuntime(platform)
+    with pytest.raises(TypeError):
+        runtime.register_vm(vm)
+
+
+def test_host_policy_bound_to_booking():
+    platform, _vm, runtime = make_runtime()
+    assert platform.host.policy.booking is runtime.host_booking
+
+
+def test_epoch_books_type1_misaligned_host_page():
+    platform, vm, runtime = make_runtime()
+    # A host huge page over a guest-free gpa region: type-1.
+    hp = platform.host.alloc_huge_region()
+    platform.ept(vm.id).map_huge(4, hp)
+    runtime.epoch(now=0.0)
+    state = runtime.guest_state(vm.id)
+    assert 4 in state.booking
+    assert state.booking.booked_total == 1
+
+
+def test_epoch_routes_type2_to_promoter():
+    platform, vm, runtime = make_runtime()
+    hp = platform.host.alloc_huge_region()
+    platform.ept(vm.id).map_huge(4, hp)
+    # Allocate something inside the gpa region: type-2, not bookable.
+    vm.gpa_space.alloc_at(4 * PAGES_PER_HUGE + 10, 0)
+    runtime.epoch(now=0.0)
+    state = runtime.guest_state(vm.id)
+    assert 4 not in state.booking
+
+
+def test_epoch_books_host_region_for_type1_guest_huge():
+    platform, vm, runtime = make_runtime()
+    vm.gpa_space.alloc_range(2 * PAGES_PER_HUGE, PAGES_PER_HUGE)
+    vm.guest.table(PROCESS).map_huge(0, 2)  # guest huge, EPT empty: type-1
+    runtime.epoch(now=0.0)
+    assert runtime.host_booking.has_purpose((vm.id, 2))
+    # A later EPT fault in that region is served with the booked page.
+    platform.host.fault(vm.id, 2 * PAGES_PER_HUGE, full_region=True)
+    assert platform.ept(vm.id).is_huge(2)
+
+
+def test_epoch_promotes_type2_guest_huge_via_host_promoter():
+    platform, vm, runtime = make_runtime()
+    vma = vm.mmap(PAGES_PER_HUGE, "arr")
+    for vpn in range(vma.start, vma.start + PAGES_PER_HUGE):
+        platform.touch(vm, vpn)
+    # Ensure the guest side is huge over an EPT-base-mapped gpa region.
+    table = vm.table()
+    vregion = vma.start // PAGES_PER_HUGE
+    if not table.is_huge(vregion):
+        assert vm.guest.promote_with_migration(PROCESS, vregion)
+    gpregion = table.huge_target(vregion)
+    assert not platform.ept(vm.id).is_huge(gpregion) or gpregion is not None
+    runtime.epoch(now=0.0)
+    runtime.epoch(now=1.0)
+    assert platform.ept(vm.id).is_huge(gpregion)
+
+
+def test_booking_cap_respected():
+    config = GeminiConfig(booking_cap_fraction=1.0 / 32.0)  # one region
+    platform, vm, runtime = make_runtime(config)
+    for index in range(3):
+        hp = platform.host.alloc_huge_region()
+        platform.ept(vm.id).map_huge(4 + index, hp)
+    runtime.epoch(now=0.0)
+    state = runtime.guest_state(vm.id)
+    assert len(state.booking) == 1  # capped
+
+
+def test_ablation_disables_booking():
+    config = GeminiConfig(enable_ema_hb=False)
+    platform, vm, runtime = make_runtime(config)
+    hp = platform.host.alloc_huge_region()
+    platform.ept(vm.id).map_huge(4, hp)
+    runtime.epoch(now=0.0)
+    assert len(runtime.guest_state(vm.id).booking) == 0
+
+
+def test_stats_aggregate():
+    platform, vm, runtime = make_runtime()
+    hp = platform.host.alloc_huge_region()
+    platform.ept(vm.id).map_huge(4, hp)
+    runtime.epoch(now=0.0)
+    stats = runtime.stats()
+    assert stats["scans"] == 1.0
+    assert stats["bookings"] >= 1.0
+    assert "bucket_reuse_rate" in stats
+
+
+def test_guest_alignable_probe():
+    platform, vm, runtime = make_runtime()
+    assert runtime._guest_region_alignable(vm.id, 3)  # fully free: fine
+    vma = vm.mmap(10, "a")
+    platform.touch_vma(vm, vma)
+    gpregion = vm.translate(vma.start) // PAGES_PER_HUGE
+    assert runtime._guest_region_alignable(vm.id, gpregion)  # mapped: movable
+    # An allocated-but-unmapped (unmovable) frame poisons the region.
+    hole = vm.gpa_space.alloc(0)
+    assert not runtime._guest_region_alignable(vm.id, hole // PAGES_PER_HUGE)

@@ -1,0 +1,54 @@
+"""Unit tests for the experiment infrastructure."""
+
+import pytest
+
+from repro.experiments.common import (
+    BASELINE,
+    FRAGMENTED,
+    UNFRAGMENTED,
+    format_table,
+    normalize,
+    run_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_matrix():
+    return run_matrix(["Shore"], systems=["Host-B-VM-B", "THP"], epochs=4)
+
+
+def test_standard_configs():
+    assert FRAGMENTED.fragment_guest > UNFRAGMENTED.fragment_guest
+    assert FRAGMENTED.fragment_host > UNFRAGMENTED.fragment_host
+    assert BASELINE == "Host-B-VM-B"
+
+
+def test_run_matrix_shape(tiny_matrix):
+    assert set(tiny_matrix) == {"Shore"}
+    assert set(tiny_matrix["Shore"]) == {"Host-B-VM-B", "THP"}
+    for result in tiny_matrix["Shore"].values():
+        assert len(result.epochs) == 4
+
+
+def test_normalize(tiny_matrix):
+    table = normalize(tiny_matrix, "throughput")
+    assert table["Shore"]["Host-B-VM-B"] == pytest.approx(1.0)
+    assert table["Shore"]["THP"] > 0
+
+
+def test_normalize_other_baseline(tiny_matrix):
+    table = normalize(tiny_matrix, "throughput", baseline="THP")
+    assert table["Shore"]["THP"] == pytest.approx(1.0)
+
+
+def test_format_table(tiny_matrix):
+    table = normalize(tiny_matrix, "throughput")
+    text = format_table(table, title="Test table")
+    assert "Test table" in text
+    assert "Shore" in text
+    assert "average" in text
+    assert "1.00" in text
+
+
+def test_format_table_empty():
+    assert format_table({}, title="nothing") == "nothing"

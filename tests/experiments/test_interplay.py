@@ -1,0 +1,45 @@
+"""Unit tests for the Section 8 interplay experiments."""
+
+from repro.experiments.interplay import (
+    format_balloon,
+    format_ksm,
+    run_balloon_interplay,
+    run_ksm_interplay,
+)
+
+
+def test_balloon_interplay_structure():
+    outcomes = run_balloon_interplay("Shore", epochs=6, inflate_regions=1)
+    assert [o.variant for o in outcomes] == ["alignment-aware", "naive"]
+    for outcome in outcomes:
+        assert outcome.result.throughput > 0
+        assert outcome.aligned_demotions >= 0
+    text = format_balloon(outcomes)
+    assert "alignment-aware" in text
+
+
+def test_balloon_aware_never_worse_on_aligned_demotions():
+    outcomes = run_balloon_interplay("Masstree", epochs=8, inflate_regions=2)
+    aware, naive = outcomes
+    assert aware.aligned_demotions <= naive.aligned_demotions
+
+
+def test_ksm_interplay_structure():
+    outcomes = run_ksm_interplay("Shore", epochs=6)
+    variants = [o.variant for o in outcomes]
+    assert variants == ["no break-huge", "break, spare aligned", "break everything"]
+    text = format_ksm(outcomes)
+    assert "KSM interplay" in text
+
+
+def test_ksm_break_everything_merges_most():
+    outcomes = run_ksm_interplay("Specjbb", epochs=8)
+    by_variant = {o.variant: o for o in outcomes}
+    assert (
+        by_variant["break everything"].merged_pages
+        >= by_variant["no break-huge"].merged_pages
+    )
+    assert (
+        by_variant["break everything"].result.well_aligned_rate
+        <= by_variant["no break-huge"].result.well_aligned_rate
+    )

@@ -1,0 +1,101 @@
+"""Smoke tests for each experiment module at miniature scale."""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    breakdown,
+    clean_slate,
+    collocation,
+    fig02_microbench,
+    fig03_motivation,
+    reused_vm,
+)
+
+SMALL_SYSTEMS = ["Host-B-VM-B", "Ingens", "Gemini"]
+
+
+def test_fig02_points_and_formatting():
+    points = fig02_microbench.run_fig02(sizes=[2.0, 16.0], epochs=3)
+    assert len(points) == 2 * len(fig02_microbench.FIG2_SYSTEMS)
+    text = fig02_microbench.format_fig02(points)
+    assert "Host-H-VM-H" in text
+    assert "TLB miss rates" in text
+
+
+def test_fig03_motivation_tables():
+    results = fig03_motivation.run_fig03(epochs=4, workloads=["Canneal"])
+    table1 = fig03_motivation.table1_alignment(results)
+    assert "Canneal" in table1
+    assert "Gemini" in table1["Canneal"]
+    text = fig03_motivation.format_fig03(results)
+    assert "Table 1" in text
+
+
+@pytest.fixture(scope="module")
+def mini_clean():
+    return clean_slate.run_clean_slate(
+        workloads=["Masstree"], systems=SMALL_SYSTEMS, epochs=4
+    )
+
+
+def test_clean_slate_figures(mini_clean):
+    assert set(clean_slate.fig08_throughput(mini_clean)) == {"Masstree"}
+    assert set(clean_slate.fig09_mean_latency(mini_clean)) == {"Masstree"}
+    tlb = clean_slate.fig11_tlb_misses(mini_clean)
+    assert tlb["Masstree"]["Gemini"] == pytest.approx(1.0)
+    text = clean_slate.format_clean_slate(mini_clean)
+    assert "Figure 8" in text
+    assert "Table 3" in text
+
+
+def test_clean_slate_latency_figures_filter_suite(mini_clean):
+    # Masstree reports latency; a non-latency workload would be filtered.
+    results = clean_slate.run_clean_slate(
+        workloads=["Canneal"], systems=SMALL_SYSTEMS, epochs=4
+    )
+    assert clean_slate.fig09_mean_latency(results) == {}
+
+
+def test_reused_vm_runs_primer():
+    results = reused_vm.run_reused_vm(
+        workloads=["Shore"], systems=["Host-B-VM-B", "Gemini"], epochs=4
+    )
+    assert "Shore" in results
+    text = reused_vm.format_reused_vm(results)
+    assert "Figure 12" in text
+    assert "Table 4" in text
+
+
+def test_breakdown_variants():
+    results = breakdown.run_breakdown(workloads=["Shore"], epochs=4)
+    row = results["Shore"]
+    assert set(row) == {"Gemini", "EMA/HB only", "Bucket only", "baseline"}
+    table = breakdown.contributions(results)
+    shares = table["Shore"]
+    assert 0.0 <= shares["EMA/HB"] <= 1.0
+    assert shares["EMA/HB"] + shares["Huge bucket"] == pytest.approx(1.0, abs=1e-6)
+
+
+def test_collocation_pairs():
+    results = collocation.run_collocation(
+        pairs=[("Shore", "SP.D")], systems=["Host-B-VM-B", "Gemini"], epochs=4
+    )
+    assert set(results) == {"Shore+SP.D/Shore", "Shore+SP.D/SP.D"}
+    overhead = collocation.gemini_overhead(results)
+    assert set(overhead) == {"Shore+SP.D/Shore", "Shore+SP.D/SP.D"}
+    text = collocation.format_collocation(results)
+    assert "Figure 17" in text
+
+
+def test_ablation_runners():
+    timeout = ablations.run_timeout_ablation(workloads=["Shore"], epochs=4)
+    assert set(timeout["Shore"]) == {
+        "adaptive (Alg. 1)", "fixed short (1)", "fixed long (32)",
+    }
+    text = ablations.format_ablation(timeout, "Timeout")
+    assert "Timeout" in text
+    prealloc = ablations.run_prealloc_sweep("Shore", thresholds=[256], epochs=3)
+    assert "threshold=256" in prealloc["Shore"]
+    hold = ablations.run_bucket_hold_sweep("Shore", holds=[4.0], epochs=3)
+    assert "hold=4" in hold["Shore"]

@@ -1,0 +1,55 @@
+"""Unit tests for the parameter sweeps."""
+
+from repro.experiments.sweeps import (
+    format_sweep,
+    run_fragmentation_sweep,
+    run_tlb_sweep,
+)
+
+
+def test_fragmentation_sweep_structure():
+    points = run_fragmentation_sweep(
+        "Shore", levels=[0.0, 0.5], systems=["Host-B-VM-B", "Gemini"], epochs=4
+    )
+    assert len(points) == 4
+    assert {p.parameter for p in points} == {0.0, 0.5}
+    text = format_sweep(points, "Frag sweep")
+    assert "Frag sweep" in text
+    assert "Gemini" in text
+
+
+def test_severe_fragmentation_shrinks_gains():
+    points = run_fragmentation_sweep(
+        "Masstree", levels=[0.0, 0.9], systems=["Host-B-VM-B", "Gemini"], epochs=8
+    )
+    by_key = {(p.parameter, p.system): p for p in points}
+
+    def gain(level):
+        return (
+            by_key[(level, "Gemini")].throughput
+            / by_key[(level, "Host-B-VM-B")].throughput
+        )
+
+    assert gain(0.9) < gain(0.0)
+    assert gain(0.0) > 1.3
+
+
+def test_large_tlb_makes_huge_pages_moot():
+    points = run_tlb_sweep(
+        "Masstree",
+        entries=[384, 24576],
+        systems=["Host-B-VM-B", "Gemini"],
+        epochs=8,
+    )
+    by_key = {(p.parameter, p.system): p for p in points}
+
+    def gain(entries):
+        return (
+            by_key[(float(entries), "Gemini")].throughput
+            / by_key[(float(entries), "Host-B-VM-B")].throughput
+        )
+
+    # With an ample TLB even base pages fit: the crossover where huge
+    # pages stop paying off.
+    assert gain(24576) < gain(384)
+    assert gain(24576) < 1.1

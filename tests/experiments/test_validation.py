@@ -1,0 +1,43 @@
+"""Unit tests for the TLB-model validation experiment."""
+
+from repro.experiments.validation import (
+    ValidationPoint,
+    format_validation,
+    run_validation,
+)
+
+
+def test_validation_points_structure():
+    points = run_validation(
+        workloads=["Shore"],
+        systems=["Host-B-VM-B", "Gemini"],
+        epochs=4,
+        trace_accesses=10_000,
+    )
+    assert len(points) == 2
+    for point in points:
+        assert 0.0 <= point.analytic_miss_rate <= 1.0
+        assert 0.0 <= point.traced_miss_rate <= 1.0
+        assert point.error == abs(
+            point.analytic_miss_rate - point.traced_miss_rate
+        )
+
+
+def test_validation_model_agreement():
+    points = run_validation(
+        workloads=["Masstree"],
+        systems=["Host-B-VM-B", "THP"],
+        epochs=5,
+        trace_accesses=30_000,
+    )
+    for point in points:
+        assert point.error < 0.10, f"{point.system}: {point.error:.3f}"
+
+
+def test_format_validation():
+    points = [
+        ValidationPoint("w", "s", analytic_miss_rate=0.5, traced_miss_rate=0.45)
+    ]
+    text = format_validation(points)
+    assert "0.500" in text
+    assert "max |error| = 0.050" in text

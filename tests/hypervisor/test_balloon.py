@@ -1,0 +1,114 @@
+"""Unit tests for the balloon driver (Section 8 future-work extension)."""
+
+import pytest
+
+from repro.hypervisor.balloon import BalloonDriver
+from repro.hypervisor.platform import Platform
+from repro.mem.layout import PAGES_PER_HUGE
+from repro.os.mm import PROCESS
+from repro.policies.base import HugePagePolicy
+
+
+class HostHuge(HugePagePolicy):
+    name = "host-huge"
+
+    def wants_huge_fault(self, client, vregion):
+        return True
+
+
+def make_setup(host_policy=None):
+    platform = Platform(64 * PAGES_PER_HUGE, host_policy or HugePagePolicy())
+    vm = platform.create_vm(16 * PAGES_PER_HUGE, HugePagePolicy())
+    return platform, vm
+
+
+def test_inflate_reclaims_host_frames():
+    platform, vm = make_setup()
+    vma = vm.mmap(100, "heap")
+    platform.touch_vma(vm, vma)
+    vm.munmap("heap")  # guest frees; host backing persists
+    host_free_before = platform.memory.free_pages
+    balloon = BalloonDriver(platform, vm, alignment_aware=False)
+    reclaimed = balloon.inflate(100)
+    assert reclaimed == 100
+    assert platform.memory.free_pages == host_free_before + 100
+    assert balloon.inflated_pages == 100
+
+
+def test_inflate_untouched_pages_reclaims_nothing():
+    platform, vm = make_setup()
+    balloon = BalloonDriver(platform, vm, alignment_aware=False)
+    reclaimed = balloon.inflate(10)
+    assert reclaimed == 0  # the pages were never host-backed
+    assert balloon.inflated_pages == 10
+
+
+def test_ballooned_pages_unavailable_to_guest():
+    platform, vm = make_setup()
+    balloon = BalloonDriver(platform, vm, alignment_aware=False)
+    free_before = vm.gpa_space.free_pages
+    balloon.inflate(50)
+    assert vm.gpa_space.free_pages == free_before - 50
+    balloon.deflate()
+    assert vm.gpa_space.free_pages == free_before
+    assert balloon.inflated_pages == 0
+
+
+def test_naive_balloon_demotes_huge_host_pages():
+    platform, vm = make_setup(host_policy=HostHuge())
+    vma = vm.mmap(PAGES_PER_HUGE, "arr")
+    platform.touch_vma(vm, vma)
+    vm.munmap("arr")
+    ept = platform.ept(vm.id)
+    assert ept.huge_count >= 1
+    balloon = BalloonDriver(platform, vm, alignment_aware=False)
+    balloon.inflate(2 * PAGES_PER_HUGE)
+    assert balloon.demoted_huge_pages >= 1
+
+
+def _aligned_pair_setup():
+    """A well-aligned pair over gpa region 0 whose guest memory is free
+    (as the bucket's custody would leave it), plus base-backed free guest
+    memory elsewhere."""
+    platform, vm = make_setup(host_policy=HostHuge())
+    platform.host.fault(vm.id, 0, full_region=True)
+    assert platform.ept(vm.id).is_huge(0)
+    vm.gpa_space.alloc_range(2 * PAGES_PER_HUGE, PAGES_PER_HUGE)
+    vm.guest.table(PROCESS).map_huge(2, 0)  # guest huge over gpa region 0
+    for gpn in range(4 * PAGES_PER_HUGE, 5 * PAGES_PER_HUGE):
+        platform.host.fault(vm.id, gpn, full_region=False)
+    return platform, vm
+
+
+def test_alignment_aware_balloon_spares_aligned_pages():
+    """Gemini's pressure rule: with enough mis-aligned/base-backed free
+    memory, well-aligned huge pages are not demoted."""
+    platform, vm = _aligned_pair_setup()
+    aware = BalloonDriver(platform, vm, alignment_aware=True)
+    reclaimed = aware.inflate(PAGES_PER_HUGE // 2)
+    assert aware.demoted_aligned_huge_pages == 0
+    assert reclaimed > 0  # it still reclaimed (base-backed) memory
+
+    # The naive policy, ballooning the lowest free pages, hits region 0
+    # (fresh setup so the aware run's allocations don't mask the effect).
+    platform, vm = _aligned_pair_setup()
+    naive = BalloonDriver(platform, vm, alignment_aware=False)
+    naive.inflate(2 * PAGES_PER_HUGE)  # enough to reach region 0's block
+    assert naive.demoted_huge_pages >= 1
+
+
+def test_deflated_pages_refault_on_touch():
+    platform, vm = make_setup()
+    vma = vm.mmap(20, "heap")
+    platform.touch_vma(vm, vma)
+    gpn = vm.translate(vma.start)
+    vm.munmap("heap")
+    balloon = BalloonDriver(platform, vm, alignment_aware=False)
+    balloon.inflate(20)
+    balloon.deflate()
+    ept = platform.ept(vm.id)
+    assert ept.translate(gpn) is None
+    # The guest can reuse the memory; the host re-backs on fault.
+    vma2 = vm.mmap(20, "heap2")
+    platform.touch_vma(vm, vma2)
+    assert vm.translate(vma2.start) is not None

@@ -1,0 +1,97 @@
+"""Unit tests for the KSM daemon (Section 8 future-work extension)."""
+
+import pytest
+
+from repro.hypervisor.ksm import KsmDaemon
+from repro.hypervisor.platform import Platform
+from repro.mem.layout import PAGES_PER_HUGE
+from repro.os.mm import PROCESS
+from repro.policies.base import HugePagePolicy
+
+
+class HostHuge(HugePagePolicy):
+    name = "host-huge"
+
+    def wants_huge_fault(self, client, vregion):
+        return True
+
+
+def make_setup(host_policy=None, vms=2):
+    platform = Platform(128 * PAGES_PER_HUGE, host_policy or HugePagePolicy())
+    out = []
+    for _ in range(vms):
+        vm = platform.create_vm(16 * PAGES_PER_HUGE, HugePagePolicy())
+        vma = vm.mmap(2 * PAGES_PER_HUGE, "heap")
+        platform.touch_vma(vm, vma)
+        out.append(vm)
+    return platform, out
+
+
+def test_validation():
+    platform, _ = make_setup()
+    with pytest.raises(ValueError):
+        KsmDaemon(platform, mergeable_fraction=1.5)
+
+
+def test_merging_frees_host_frames():
+    platform, _vms = make_setup()
+    daemon = KsmDaemon(platform, mergeable_fraction=0.3)
+    free_before = platform.memory.free_pages
+    merged = daemon.scan()
+    assert merged > 0
+    assert platform.memory.free_pages == free_before + merged
+    assert daemon.pages_saved == merged
+
+
+def test_merged_pages_share_frames():
+    platform, vms = make_setup()
+    daemon = KsmDaemon(platform, mergeable_fraction=0.5)
+    daemon.scan()
+    # Some frame must now back more than one gpn (across the two VMs).
+    backing: dict[int, int] = {}
+    for vm in vms:
+        for _gpn, hpn in platform.ept(vm.id).base_mappings():
+            backing[hpn] = backing.get(hpn, 0) + 1
+    assert max(backing.values()) >= 2
+
+
+def test_zero_fraction_merges_nothing():
+    platform, _ = make_setup()
+    daemon = KsmDaemon(platform, mergeable_fraction=0.0)
+    assert daemon.scan() == 0
+
+
+def test_huge_pages_protect_subpages_without_break_huge():
+    platform, _vms = make_setup(host_policy=HostHuge())
+    assert platform.host.huge_mapping_count() > 0
+    daemon = KsmDaemon(platform, mergeable_fraction=0.5, break_huge=False)
+    daemon.scan()
+    assert daemon.demoted_huge_pages == 0
+    # Huge-mapped regions were never touched.
+    assert platform.host.huge_mapping_count() > 0
+
+
+def test_break_huge_demotes_then_merges():
+    platform, _vms = make_setup(host_policy=HostHuge())
+    huge_before = platform.host.huge_mapping_count()
+    daemon = KsmDaemon(
+        platform, mergeable_fraction=0.5, break_huge=True, spare_aligned=False
+    )
+    daemon.scan()
+    assert daemon.demoted_huge_pages > 0
+    assert platform.host.huge_mapping_count() < huge_before
+    assert daemon.merged_pages > 0
+
+
+def test_spare_aligned_keeps_well_aligned_pairs():
+    platform, vms = make_setup(host_policy=HostHuge())
+    vm = vms[0]
+    # Mark one pair well-aligned: a guest huge page over a host-huge region.
+    gpregion, _ = next(iter(platform.ept(vm.id).huge_mappings()))
+    vm.gpa_space.alloc_range(8 * PAGES_PER_HUGE, PAGES_PER_HUGE)
+    vm.guest.table(PROCESS).map_huge(8, gpregion)
+    daemon = KsmDaemon(
+        platform, mergeable_fraction=0.9, break_huge=True, spare_aligned=True
+    )
+    daemon.scan()
+    assert platform.ept(vm.id).is_huge(gpregion)  # the aligned pair survived

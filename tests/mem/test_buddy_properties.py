@@ -1,0 +1,121 @@
+"""Property-based tests for buddy allocator invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.buddy import AllocationError, BuddyAllocator
+from repro.mem.layout import MAX_ORDER
+
+TOTAL = 2048
+
+
+def free_space_invariants(buddy):
+    """Free-list bookkeeping must agree with the free_pages counter, blocks
+    must be aligned, in range, and pairwise disjoint."""
+    seen = set()
+    total = 0
+    for start, order in buddy.free_blocks():
+        size = 1 << order
+        assert start % size == 0
+        assert buddy.base <= start
+        assert start + size <= buddy.base + buddy.total_pages
+        frames = set(range(start, start + size))
+        assert not frames & seen, "overlapping free blocks"
+        seen |= frames
+        total += size
+    assert total == buddy.free_pages
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=MAX_ORDER)),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_random_alloc_free_preserves_invariants(ops):
+    """Random interleavings of alloc/free keep the allocator consistent."""
+    buddy = BuddyAllocator(TOTAL)
+    live = []
+    for is_alloc, order in ops:
+        if is_alloc or not live:
+            try:
+                frame = buddy.alloc(order)
+            except AllocationError:
+                continue
+            live.append((frame, order))
+        else:
+            frame, forder = live.pop()
+            buddy.free(frame, forder)
+    free_space_invariants(buddy)
+    allocated = sum(1 << o for _, o in live)
+    assert buddy.free_pages == TOTAL - allocated
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=MAX_ORDER), min_size=1, max_size=40
+    )
+)
+def test_alloc_everything_then_free_restores_full_memory(orders):
+    buddy = BuddyAllocator(TOTAL)
+    live = []
+    for order in orders:
+        try:
+            live.append((buddy.alloc(order), order))
+        except AllocationError:
+            pass
+    for frame, order in live:
+        buddy.free(frame, order)
+    assert buddy.free_pages == TOTAL
+    assert buddy.largest_free_order() == MAX_ORDER
+    free_space_invariants(buddy)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    start=st.integers(min_value=0, max_value=TOTAL - 1),
+    npages=st.integers(min_value=1, max_value=TOTAL),
+)
+def test_alloc_range_free_range_roundtrip(start, npages):
+    buddy = BuddyAllocator(TOTAL)
+    if start + npages > TOTAL:
+        with pytest.raises(AllocationError):
+            buddy.alloc_range(start, npages)
+        assert buddy.free_pages == TOTAL
+        return
+    buddy.alloc_range(start, npages)
+    assert buddy.free_pages == TOTAL - npages
+    for probe in (start, start + npages - 1):
+        assert not buddy.is_free(probe)
+    free_space_invariants(buddy)
+    buddy.free_range(start, npages)
+    assert buddy.free_pages == TOTAL
+    free_space_invariants(buddy)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pins=st.lists(
+        st.integers(min_value=0, max_value=TOTAL - 1),
+        min_size=1,
+        max_size=30,
+        unique=True,
+    )
+)
+def test_free_regions_match_pinned_holes(pins):
+    """free_regions must be exactly the complement of pinned frames."""
+    buddy = BuddyAllocator(TOTAL)
+    for pin in pins:
+        buddy.alloc_at(pin, 0)
+    regions = buddy.free_regions()
+    free_frames = set()
+    for rstart, rpages in regions:
+        free_frames |= set(range(rstart, rstart + rpages))
+    assert free_frames == set(range(TOTAL)) - set(pins)
+    # Regions are sorted and maximal (separated by at least one pin).
+    for (s1, n1), (s2, _) in zip(regions, regions[1:]):
+        assert s1 + n1 < s2

@@ -1,0 +1,94 @@
+"""Unit tests for FMFI and the fragmenter tool."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.fragmentation import Fragmenter, fmfi
+from repro.mem.layout import PAGES_PER_HUGE
+from repro.mem.physmem import PhysicalMemory
+
+
+def test_fmfi_zero_when_defragmented():
+    memory = PhysicalMemory(8 * PAGES_PER_HUGE)
+    assert fmfi(memory) == 0.0
+
+
+def test_fmfi_zero_when_fully_allocated():
+    memory = PhysicalMemory(PAGES_PER_HUGE)
+    memory.alloc_range(0, PAGES_PER_HUGE)
+    assert fmfi(memory) == 0.0
+
+
+def test_fmfi_one_when_all_huge_blocks_destroyed():
+    memory = PhysicalMemory(2 * PAGES_PER_HUGE)
+    # Pin the middle page of each huge region.
+    memory.alloc_at(256, 0)
+    memory.alloc_at(512 + 256, 0)
+    assert fmfi(memory) == 1.0
+
+
+def test_fmfi_partial():
+    memory = PhysicalMemory(4 * PAGES_PER_HUGE)
+    memory.alloc_at(256, 0)  # destroy huge blocks in region 0 only
+    value = fmfi(memory)
+    assert 0.0 < value < 0.5
+    # 511 unusable free pages out of 2047 total free.
+    assert value == pytest.approx(511 / 2047)
+
+
+def test_fragmenter_reaches_target():
+    memory = PhysicalMemory(64 * PAGES_PER_HUGE)
+    fragmenter = Fragmenter(memory, seed=42)
+    achieved = fragmenter.fragment(0.9)
+    assert achieved >= 0.9
+    assert fmfi(memory) >= 0.9
+    # Pinning overhead is tiny: at most one page per huge region.
+    assert fragmenter.pinned_pages <= 64
+
+
+def test_fragmenter_release_restores_memory():
+    memory = PhysicalMemory(32 * PAGES_PER_HUGE)
+    fragmenter = Fragmenter(memory, seed=1)
+    fragmenter.fragment(0.8)
+    assert fmfi(memory) >= 0.8
+    fragmenter.release()
+    assert fmfi(memory) == 0.0
+    assert memory.free_pages == 32 * PAGES_PER_HUGE
+    assert fragmenter.pinned_pages == 0
+
+
+def test_fragmenter_zero_target_is_noop():
+    memory = PhysicalMemory(8 * PAGES_PER_HUGE)
+    fragmenter = Fragmenter(memory)
+    assert fragmenter.fragment(0.0) == 0.0
+    assert fragmenter.pinned_pages == 0
+
+
+def test_fragmenter_rejects_bad_target():
+    memory = PhysicalMemory(8 * PAGES_PER_HUGE)
+    fragmenter = Fragmenter(memory)
+    with pytest.raises(ValueError):
+        fragmenter.fragment(1.0)
+    with pytest.raises(ValueError):
+        fragmenter.fragment(-0.1)
+
+
+def test_fragmenter_deterministic_for_seed():
+    results = []
+    for _ in range(2):
+        memory = PhysicalMemory(32 * PAGES_PER_HUGE)
+        fragmenter = Fragmenter(memory, seed=7)
+        fragmenter.fragment(0.5)
+        results.append(sorted(fragmenter._pinned))
+    assert results[0] == results[1]
+
+
+@settings(max_examples=20, deadline=None)
+@given(target=st.floats(min_value=0.0, max_value=0.95))
+def test_fragmenter_always_meets_or_exceeds_target(target):
+    memory = PhysicalMemory(64 * PAGES_PER_HUGE)
+    fragmenter = Fragmenter(memory, seed=3)
+    achieved = fragmenter.fragment(target)
+    assert achieved >= target
+    assert 0.0 <= achieved <= 1.0

@@ -1,0 +1,81 @@
+"""Unit tests for address layout constants and helpers."""
+
+import pytest
+
+from repro.mem import layout
+
+
+def test_page_constants_are_x86_64():
+    assert layout.PAGE_SIZE == 4096
+    assert layout.HUGE_PAGE_SIZE == 2 * 1024 * 1024
+    assert layout.PAGES_PER_HUGE == 512
+    assert layout.MAX_ORDER == 11
+    assert layout.HUGE_ORDER == 9
+    assert layout.order_pages(layout.HUGE_ORDER) == layout.PAGES_PER_HUGE
+
+
+def test_bytes_to_pages_rounds_up():
+    assert layout.bytes_to_pages(0) == 0
+    assert layout.bytes_to_pages(1) == 1
+    assert layout.bytes_to_pages(4096) == 1
+    assert layout.bytes_to_pages(4097) == 2
+    assert layout.bytes_to_pages(layout.MIB) == 256
+
+
+def test_bytes_to_pages_rejects_negative():
+    with pytest.raises(ValueError):
+        layout.bytes_to_pages(-1)
+
+
+def test_pages_to_bytes_roundtrip():
+    assert layout.pages_to_bytes(3) == 3 * 4096
+    assert layout.bytes_to_pages(layout.pages_to_bytes(77)) == 77
+
+
+def test_huge_alignment_predicates():
+    assert layout.is_huge_aligned(0)
+    assert layout.is_huge_aligned(512)
+    assert not layout.is_huge_aligned(511)
+    assert not layout.is_huge_aligned(513)
+
+
+def test_huge_align_down_and_up():
+    assert layout.huge_align_down(0) == 0
+    assert layout.huge_align_down(511) == 0
+    assert layout.huge_align_down(512) == 512
+    assert layout.huge_align_down(1023) == 512
+    assert layout.huge_align_up(0) == 0
+    assert layout.huge_align_up(1) == 512
+    assert layout.huge_align_up(512) == 512
+    assert layout.huge_align_up(513) == 1024
+
+
+def test_huge_region_index_and_frames():
+    assert layout.huge_region_index(0) == 0
+    assert layout.huge_region_index(511) == 0
+    assert layout.huge_region_index(512) == 1
+    frames = layout.huge_region_frames(2)
+    assert frames.start == 1024
+    assert frames.stop == 1536
+    assert len(frames) == 512
+
+
+def test_order_pages_bounds():
+    assert layout.order_pages(0) == 1
+    assert layout.order_pages(11) == 2048
+    with pytest.raises(ValueError):
+        layout.order_pages(12)
+    with pytest.raises(ValueError):
+        layout.order_pages(-1)
+
+
+def test_order_for_pages():
+    assert layout.order_for_pages(1) == 0
+    assert layout.order_for_pages(2) == 1
+    assert layout.order_for_pages(3) == 2
+    assert layout.order_for_pages(512) == 9
+    assert layout.order_for_pages(513) == 10
+    with pytest.raises(ValueError):
+        layout.order_for_pages(0)
+    with pytest.raises(ValueError):
+        layout.order_for_pages(4097)

@@ -1,0 +1,135 @@
+"""Unit tests for alignment analysis and region classification."""
+
+import pytest
+
+from repro.mem.layout import PAGES_PER_HUGE
+from repro.metrics.alignment import (
+    RegionKind,
+    alignment_report,
+    classify_region,
+)
+from repro.paging.pagetable import PageTable
+from repro.paging.walker import nested_walk_cost
+
+
+def tables():
+    return PageTable("guest"), PageTable("ept")
+
+
+def test_aligned_huge_counts_both_sides():
+    guest, ept = tables()
+    guest.map_huge(0, 10)
+    ept.map_huge(10, 20)
+    report = alignment_report(guest, ept)
+    assert report.guest_huge == 1
+    assert report.host_huge == 1
+    assert report.aligned_guest == 1
+    assert report.aligned_host == 1
+    assert report.well_aligned_rate == 1.0
+
+
+def test_misaligned_guest_huge():
+    guest, ept = tables()
+    guest.map_huge(0, 10)  # host backs region 10 with base pages
+    for offset in range(PAGES_PER_HUGE):
+        ept.map_base(10 * PAGES_PER_HUGE + offset, offset)
+    report = alignment_report(guest, ept)
+    assert report.guest_huge == 1
+    assert report.host_huge == 0
+    assert report.aligned_total == 0
+    assert report.well_aligned_rate == 0.0
+
+
+def test_misaligned_host_huge():
+    guest, ept = tables()
+    # Guest maps region 0 with base pages onto gpa region 10's frames.
+    for offset in range(PAGES_PER_HUGE):
+        guest.map_base(offset, 10 * PAGES_PER_HUGE + offset)
+    ept.map_huge(10, 3)
+    report = alignment_report(guest, ept)
+    assert report.host_huge == 1
+    assert report.aligned_host == 0
+    assert report.well_aligned_rate == 0.0
+
+
+def test_mixed_alignment_rate():
+    guest, ept = tables()
+    guest.map_huge(0, 10)
+    ept.map_huge(10, 20)  # aligned pair
+    guest.map_huge(1, 11)  # guest-only huge
+    ept.map_huge(12, 22)   # host-only huge
+    report = alignment_report(guest, ept)
+    assert report.total_huge == 4
+    assert report.aligned_total == 2
+    assert report.well_aligned_rate == 0.5
+
+
+def test_empty_report():
+    guest, ept = tables()
+    report = alignment_report(guest, ept)
+    assert report.well_aligned_rate == 0.0
+    assert report.total_huge == 0
+
+
+def test_report_merge():
+    guest, ept = tables()
+    guest.map_huge(0, 10)
+    ept.map_huge(10, 20)
+    a = alignment_report(guest, ept)
+    b = alignment_report(guest, ept)
+    a.merge(b)
+    assert a.total_huge == 4
+    assert a.well_aligned_rate == 1.0
+
+
+def test_classify_aligned_region_needs_one_entry():
+    guest, ept = tables()
+    guest.map_huge(0, 10)
+    ept.map_huge(10, 20)
+    classes = classify_region(guest, ept, 0)
+    assert len(classes) == 1
+    cls = classes[0]
+    assert cls.kind is RegionKind.ALIGNED_HUGE
+    assert cls.entries == 1
+    assert cls.pages == PAGES_PER_HUGE
+    assert cls.walk_cycles == pytest.approx(nested_walk_cost(True, True).cycles)
+
+
+def test_classify_guest_huge_only_splinters():
+    guest, ept = tables()
+    guest.map_huge(0, 10)
+    classes = classify_region(guest, ept, 0)
+    assert classes[0].kind is RegionKind.GUEST_HUGE_ONLY
+    assert classes[0].entries == PAGES_PER_HUGE
+    assert classes[0].walk_cycles == pytest.approx(nested_walk_cost(True, False).cycles)
+
+
+def test_classify_base_region_mixed_backing():
+    guest, ept = tables()
+    # 3 pages backed by a host huge page, 2 by host base pages.
+    ept.map_huge(10, 3)
+    for offset in range(3):
+        guest.map_base(offset, 10 * PAGES_PER_HUGE + offset)
+    for offset in range(3, 5):
+        guest.map_base(offset, 99 * PAGES_PER_HUGE + offset)
+        ept.map_base(99 * PAGES_PER_HUGE + offset, 5000 + offset)
+    classes = {c.kind: c for c in classify_region(guest, ept, 0)}
+    assert classes[RegionKind.HOST_HUGE_ONLY].entries == 3
+    assert classes[RegionKind.BASE_ONLY].entries == 2
+
+
+def test_classify_empty_region():
+    guest, ept = tables()
+    assert classify_region(guest, ept, 0) == []
+
+
+def test_walk_cost_ordering_by_kind():
+    guest, ept = tables()
+    guest.map_huge(0, 10)
+    ept.map_huge(10, 20)
+    aligned = classify_region(guest, ept, 0)[0]
+    guest2, ept2 = tables()
+    guest2.map_base(0, 5)
+    ept2.map_base(5, 7)
+    base = classify_region(guest2, ept2, 0)[0]
+    assert aligned.walk_cycles < base.walk_cycles

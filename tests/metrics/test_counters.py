@@ -1,0 +1,66 @@
+"""Unit tests for the cost ledger."""
+
+import pytest
+
+from repro.metrics.counters import CostLedger
+
+
+def test_charge_accumulates():
+    ledger = CostLedger("test")
+    ledger.charge("fault", 100.0)
+    ledger.charge("fault", 50.0, count=2)
+    assert ledger.count("fault") == 3
+    assert ledger.cycles("fault") == 150.0
+    assert ledger.sync_cycles == 150.0
+    assert ledger.background_cycles == 0.0
+
+
+def test_background_bucket_separate():
+    ledger = CostLedger()
+    ledger.charge("scan", 10.0, sync=False)
+    ledger.charge("scan", 5.0, sync=True)
+    assert ledger.background_cycles == 10.0
+    assert ledger.sync_cycles == 5.0
+    assert ledger.count("scan") == 2
+    assert ledger.cycles("scan") == 15.0
+
+
+def test_negative_charge_rejected():
+    ledger = CostLedger()
+    with pytest.raises(ValueError):
+        ledger.charge("x", -1.0)
+    with pytest.raises(ValueError):
+        ledger.charge("x", 1.0, count=-1)
+
+
+def test_merge():
+    a = CostLedger("a")
+    b = CostLedger("b")
+    a.charge("fault", 10.0)
+    b.charge("fault", 20.0)
+    b.charge("scan", 5.0, sync=False)
+    a.merge(b)
+    assert a.cycles("fault") == 30.0
+    assert a.background_cycles == 5.0
+
+
+def test_snapshot_and_delta():
+    ledger = CostLedger()
+    ledger.charge("fault", 10.0)
+    snap = ledger.snapshot()
+    ledger.charge("fault", 5.0)
+    ledger.charge("promo", 7.0, sync=False)
+    delta = ledger.delta_since(snap)
+    assert delta.cycles("fault") == 5.0
+    assert delta.count("fault") == 1
+    assert delta.background_cycles == 7.0
+    # Snapshot unaffected by later charges.
+    assert snap.cycles("fault") == 10.0
+
+
+def test_delta_empty_when_unchanged():
+    ledger = CostLedger()
+    ledger.charge("fault", 10.0)
+    delta = ledger.delta_since(ledger.snapshot())
+    assert delta.sync_cycles == 0.0
+    assert not delta.sync

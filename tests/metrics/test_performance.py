@@ -1,0 +1,100 @@
+"""Unit tests for the performance model."""
+
+import pytest
+
+from repro.metrics.performance import (
+    EpochPerformance,
+    REFERENCE_TRANSLATION_CYCLES,
+    TAIL_STALL_CAP_CYCLES,
+    compute_cycles_per_access,
+    epoch_performance,
+)
+from repro.tlb.model import TLBConfig, TLBModel, TranslationSegment
+
+
+def make_stats(entries=100, accesses=10_000, walk=100.0):
+    model = TLBModel(TLBConfig(entries=50, utilization=1.0))
+    return model.evaluate(
+        [TranslationSegment(entries=entries, accesses=accesses, walk_cycles=walk)]
+    )
+
+
+def test_compute_cycles_validation():
+    with pytest.raises(ValueError):
+        compute_cycles_per_access(0.0)
+    with pytest.raises(ValueError):
+        compute_cycles_per_access(1.5)
+
+
+def test_compute_cycles_scale_with_sensitivity():
+    # sensitivity 0.5: compute equals the reference translation cost.
+    assert compute_cycles_per_access(0.5) == pytest.approx(
+        REFERENCE_TRANSLATION_CYCLES
+    )
+    # Low sensitivity: compute dominates.
+    assert compute_cycles_per_access(0.04) > 20 * REFERENCE_TRANSLATION_CYCLES
+    # Full sensitivity: no compute at all.
+    assert compute_cycles_per_access(1.0) == 0.0
+
+
+def test_epoch_performance_composition():
+    stats = make_stats()
+    perf = epoch_performance(
+        tlb_sensitivity=0.5,
+        ops=1_000,
+        stats=stats,
+        sync_mm_cycles=5_000.0,
+        background_cycles=2_000.0,
+    )
+    assert perf.total_cycles == pytest.approx(
+        perf.compute_cycles + perf.translation_cycles + 5_000.0 + 2_000.0
+    )
+    assert perf.throughput == pytest.approx(1_000 / perf.total_cycles)
+    # Background work affects throughput but not request latency.
+    inline = perf.compute_cycles + perf.translation_cycles + 5_000.0
+    assert perf.mean_latency == pytest.approx(inline / 1_000)
+
+
+def test_lower_misses_mean_higher_throughput():
+    light = make_stats(entries=10)   # fits TLB
+    heavy = make_stats(entries=10_000)
+    perf_light = epoch_performance(0.5, 1_000, light, 0.0, 0.0)
+    perf_heavy = epoch_performance(0.5, 1_000, heavy, 0.0, 0.0)
+    assert perf_light.throughput > perf_heavy.throughput
+    assert perf_light.mean_latency < perf_heavy.mean_latency
+
+
+def test_insensitive_workload_barely_reacts():
+    light = make_stats(entries=10)
+    heavy = make_stats(entries=10_000)
+    fast = epoch_performance(0.04, 1_000, light, 0.0, 0.0)
+    slow = epoch_performance(0.04, 1_000, heavy, 0.0, 0.0)
+    assert slow.throughput / fast.throughput > 0.9
+
+
+def test_p99_includes_stall_tail():
+    stats = make_stats()
+    calm = epoch_performance(0.5, 1_000, stats, sync_mm_cycles=0.0, background_cycles=0.0)
+    stalled = epoch_performance(
+        0.5, 1_000, stats, sync_mm_cycles=200_000.0, background_cycles=0.0
+    )
+    assert stalled.p99_latency > calm.p99_latency
+    assert calm.p99_latency == pytest.approx(2.0 * calm.mean_latency)
+
+
+def test_p99_stall_capped():
+    stats = make_stats()
+    perf = epoch_performance(
+        0.5, 1_000, stats, sync_mm_cycles=1e12, background_cycles=0.0
+    )
+    assert perf.p99_latency <= 2.0 * perf.mean_latency + TAIL_STALL_CAP_CYCLES
+
+
+def test_zero_ops_degenerate():
+    perf = EpochPerformance(
+        ops=0, accesses=0, compute_cycles=0, translation_cycles=0,
+        tlb_misses=0, sync_mm_cycles=0, background_cycles=0,
+    )
+    assert perf.throughput == 0.0
+    assert perf.mean_latency == 0.0
+    assert perf.p99_latency == 0.0

@@ -1,0 +1,86 @@
+"""Property-based tests: frame conservation across MemoryLayer operations.
+
+The invariant every memory manager must keep: each physical frame is in
+exactly one state — free in the buddy, mapped by exactly one translation,
+or explicitly held (never leaked, never double-owned).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.layout import PAGES_PER_HUGE
+from repro.mem.physmem import PhysicalMemory
+from repro.os.mm import OutOfMemory, PROCESS, MemoryLayer
+from repro.policies.base import HugePagePolicy
+
+REGIONS = 12
+TOTAL = REGIONS * PAGES_PER_HUGE
+
+
+def frame_conservation(layer: MemoryLayer) -> None:
+    """free + base-mapped + huge-mapped regions == total pages, with all
+    rmap entries consistent with the page tables."""
+    mapped_base = 0
+    mapped_huge = 0
+    for client in layer.clients():
+        table = layer.table(client)
+        mapped_base += table.base_count
+        mapped_huge += table.huge_count * PAGES_PER_HUGE
+        for vpn, pfn in table.base_mappings():
+            assert layer.owner_of_frame(pfn) == (client, vpn)
+        for vregion, pregion in table.huge_mappings():
+            assert layer.owner_of_region(pregion) == (client, vregion)
+    assert layer.memory.free_pages + mapped_base + mapped_huge == TOTAL
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(
+                ["fault", "unmap", "promote_mig", "promote_inplace", "demote", "compact"]
+            ),
+            st.integers(min_value=0, max_value=5),  # region operand
+            st.integers(min_value=0, max_value=PAGES_PER_HUGE - 1),
+        ),
+        max_size=40,
+    )
+)
+def test_frame_conservation_under_random_operations(ops):
+    layer = MemoryLayer("prop", PhysicalMemory(TOTAL), HugePagePolicy())
+    for op, region, offset in ops:
+        vpn = region * PAGES_PER_HUGE + offset
+        try:
+            if op == "fault":
+                layer.fault(PROCESS, vpn)
+            elif op == "unmap":
+                layer.unmap_range(PROCESS, region * PAGES_PER_HUGE, PAGES_PER_HUGE)
+            elif op == "promote_mig":
+                layer.promote_with_migration(PROCESS, region)
+            elif op == "promote_inplace":
+                layer.try_promote_in_place(PROCESS, region)
+            elif op == "demote":
+                if layer.table(PROCESS).is_huge(region):
+                    layer.demote(PROCESS, region)
+            elif op == "compact":
+                layer.compact_region(PROCESS, region, (region + 3) % REGIONS)
+        except OutOfMemory:
+            pass
+        frame_conservation(layer)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    touched=st.integers(min_value=1, max_value=PAGES_PER_HUGE),
+    steal=st.booleans(),
+)
+def test_migration_promotion_conserves_frames(touched, steal):
+    layer = MemoryLayer("prop", PhysicalMemory(TOTAL), HugePagePolicy())
+    if steal:
+        layer.memory.alloc_at(0, 0)  # shift placement off alignment
+    for vpn in range(touched):
+        layer.fault(PROCESS, vpn)
+    layer.promote_with_migration(PROCESS, 0)
+    mapped = sum(t.mapped_pages for t in layer._tables.values())
+    held = 1 if steal else 0
+    assert layer.memory.free_pages + mapped + held == TOTAL

@@ -1,0 +1,87 @@
+"""Unit tests for page and huge-mapping relocation primitives."""
+
+import pytest
+
+from repro.mem.layout import PAGES_PER_HUGE
+from repro.mem.physmem import PhysicalMemory
+from repro.os.mm import PROCESS, MemoryLayer
+from repro.policies.base import HugePagePolicy
+
+
+def make_layer(regions=8):
+    return MemoryLayer(
+        "test", PhysicalMemory(regions * PAGES_PER_HUGE), HugePagePolicy()
+    )
+
+
+def test_relocate_page_moves_one_mapping():
+    layer = make_layer()
+    layer.fault(PROCESS, 0)
+    layer.fault(PROCESS, 1)
+    old = layer.translate(PROCESS, 0)
+    assert layer.relocate_page(PROCESS, 0)
+    new = layer.translate(PROCESS, 0)
+    assert new != old
+    assert layer.memory.is_free(old)
+    assert layer.owner_of_frame(new) == (PROCESS, 0)
+    assert layer.owner_of_frame(old) is None
+    # The neighbour is untouched.
+    assert layer.translate(PROCESS, 1) is not None
+
+
+def test_relocate_page_to_specific_destination():
+    layer = make_layer()
+    layer.fault(PROCESS, 0)
+    dst = 3 * PAGES_PER_HUGE + 7
+    assert layer.relocate_page(PROCESS, 0, dst=dst)
+    assert layer.translate(PROCESS, 0) == dst
+
+
+def test_relocate_page_unmapped_or_busy_destination():
+    layer = make_layer()
+    assert not layer.relocate_page(PROCESS, 0)  # nothing mapped
+    layer.fault(PROCESS, 0)
+    busy = layer.memory.alloc(0)
+    assert not layer.relocate_page(PROCESS, 0, dst=busy)
+
+
+def test_relocate_huge_moves_whole_mapping():
+    layer = make_layer()
+    for vpn in range(PAGES_PER_HUGE):
+        layer.fault(PROCESS, vpn)
+    layer.try_promote_in_place(PROCESS, 0)
+    old = layer.table(PROCESS).huge_target(0)
+    assert layer.relocate_huge(PROCESS, 0)
+    new = layer.table(PROCESS).huge_target(0)
+    assert new != old
+    assert layer.owner_of_region(new) == (PROCESS, 0)
+    assert layer.owner_of_region(old) is None
+    assert layer.memory.range_is_free(old * PAGES_PER_HUGE, PAGES_PER_HUGE)
+    assert layer.ledger.count("huge_relocation") == 1
+
+
+def test_relocate_huge_requires_huge_mapping_and_space():
+    layer = make_layer()
+    assert not layer.relocate_huge(PROCESS, 0)
+    tiny = make_layer(regions=1)
+    for vpn in range(PAGES_PER_HUGE):
+        tiny.fault(PROCESS, vpn)
+    tiny.try_promote_in_place(PROCESS, 0)
+    # No free region to move to.
+    assert not tiny.relocate_huge(PROCESS, 0)
+    assert tiny.table(PROCESS).is_huge(0)
+
+
+def test_map_prealloc():
+    layer = make_layer()
+    assert layer.map_prealloc(PROCESS, 5, 100)
+    assert layer.translate(PROCESS, 5) == 100
+    assert layer.owner_of_frame(100) == (PROCESS, 5)
+    # Already mapped or busy frame: refused.
+    assert not layer.map_prealloc(PROCESS, 5, 101)
+    busy = layer.memory.alloc(0)
+    assert not layer.map_prealloc(PROCESS, 6, busy)
+    # Charged as background work.
+    assert layer.ledger.background[
+        "prealloc_fault"
+    ].count == 1

@@ -1,0 +1,179 @@
+"""Unit tests for the two-granularity page table."""
+
+import pytest
+
+from repro.mem.layout import PAGES_PER_HUGE
+from repro.paging.pagetable import MappingError, PageTable
+
+
+def test_map_and_translate_base():
+    pt = PageTable()
+    pt.map_base(10, 77)
+    assert pt.translate(10) == 77
+    assert pt.translate(11) is None
+    assert pt.is_mapped(10)
+    assert not pt.is_mapped(11)
+
+
+def test_map_base_conflict_rejected():
+    pt = PageTable()
+    pt.map_base(10, 77)
+    with pytest.raises(MappingError):
+        pt.map_base(10, 88)
+
+
+def test_map_and_translate_huge():
+    pt = PageTable()
+    pt.map_huge(2, 5)
+    vpn = 2 * PAGES_PER_HUGE + 17
+    assert pt.translate(vpn) == 5 * PAGES_PER_HUGE + 17
+    assert pt.is_huge(2)
+    assert pt.huge_target(2) == 5
+    assert pt.huge_target(3) is None
+
+
+def test_huge_over_base_conflict_rejected():
+    pt = PageTable()
+    pt.map_base(2 * PAGES_PER_HUGE, 0)
+    with pytest.raises(MappingError):
+        pt.map_huge(2, 5)
+
+
+def test_base_under_huge_conflict_rejected():
+    pt = PageTable()
+    pt.map_huge(2, 5)
+    with pytest.raises(MappingError):
+        pt.map_base(2 * PAGES_PER_HUGE + 1, 99)
+
+
+def test_unmap_base_returns_frame():
+    pt = PageTable()
+    pt.map_base(10, 77)
+    assert pt.unmap_base(10) == 77
+    assert not pt.is_mapped(10)
+    with pytest.raises(MappingError):
+        pt.unmap_base(10)
+
+
+def test_unmap_huge_returns_region():
+    pt = PageTable()
+    pt.map_huge(4, 9)
+    assert pt.unmap_huge(4) == 9
+    assert not pt.is_huge(4)
+    with pytest.raises(MappingError):
+        pt.unmap_huge(4)
+
+
+def test_region_population_counts():
+    pt = PageTable()
+    assert pt.region_population(0) == 0
+    pt.map_base(0, 100)
+    pt.map_base(1, 101)
+    pt.map_base(PAGES_PER_HUGE, 500)
+    assert pt.region_population(0) == 2
+    assert pt.region_population(1) == 1
+
+
+def populate_promotable(pt, vregion=0, pregion=3):
+    first_vpn = vregion * PAGES_PER_HUGE
+    first_pfn = pregion * PAGES_PER_HUGE
+    for offset in range(PAGES_PER_HUGE):
+        pt.map_base(first_vpn + offset, first_pfn + offset)
+
+
+def test_promotable_detects_contiguous_aligned_region():
+    pt = PageTable()
+    populate_promotable(pt, vregion=1, pregion=3)
+    assert pt.promotable(1) == 3
+
+
+def test_promotable_rejects_partial_population():
+    pt = PageTable()
+    for offset in range(PAGES_PER_HUGE - 1):
+        pt.map_base(offset, 3 * PAGES_PER_HUGE + offset)
+    assert pt.promotable(0) is None
+
+
+def test_promotable_rejects_unaligned_frames():
+    pt = PageTable()
+    # Fully populated and contiguous, but starting one frame off alignment.
+    for offset in range(PAGES_PER_HUGE):
+        pt.map_base(offset, 3 * PAGES_PER_HUGE + 1 + offset)
+    assert pt.promotable(0) is None
+
+
+def test_promotable_rejects_non_contiguous_frames():
+    pt = PageTable()
+    for offset in range(PAGES_PER_HUGE):
+        pfn = 3 * PAGES_PER_HUGE + offset
+        if offset == 100:
+            pfn = 10 * PAGES_PER_HUGE  # one stray frame
+        pt.map_base(offset, pfn)
+    assert pt.promotable(0) is None
+
+
+def test_promote_in_place():
+    pt = PageTable()
+    populate_promotable(pt, vregion=0, pregion=3)
+    assert pt.promote_in_place(0) == 3
+    assert pt.is_huge(0)
+    assert pt.base_count == 0
+    assert pt.translate(17) == 3 * PAGES_PER_HUGE + 17
+
+
+def test_promote_in_place_rejects_unpromotable():
+    pt = PageTable()
+    pt.map_base(0, 7)
+    with pytest.raises(MappingError):
+        pt.promote_in_place(0)
+
+
+def test_demote_restores_base_mappings():
+    pt = PageTable()
+    pt.map_huge(0, 3)
+    pt.demote(0)
+    assert not pt.is_huge(0)
+    assert pt.base_count == PAGES_PER_HUGE
+    assert pt.translate(0) == 3 * PAGES_PER_HUGE
+    assert pt.translate(511) == 3 * PAGES_PER_HUGE + 511
+    # Demoted region is immediately re-promotable (round trip).
+    assert pt.promotable(0) == 3
+    pt.promote_in_place(0)
+    assert pt.is_huge(0)
+
+
+def test_demote_unmapped_rejected():
+    pt = PageTable()
+    with pytest.raises(MappingError):
+        pt.demote(0)
+
+
+def test_remap_region_migration():
+    pt = PageTable()
+    pt.map_base(0, 100)
+    pt.map_base(1, 200)
+    old = pt.remap_region(0, {0: 512, 1: 513})
+    assert old == {0: 100, 1: 200}
+    assert pt.translate(0) == 512
+    assert pt.translate(1) == 513
+
+
+def test_remap_region_must_cover_exact_vpns():
+    pt = PageTable()
+    pt.map_base(0, 100)
+    with pytest.raises(MappingError):
+        pt.remap_region(0, {0: 512, 1: 513})
+    with pytest.raises(MappingError):
+        pt.remap_region(1, {})
+
+
+def test_counters_and_iterators():
+    pt = PageTable()
+    pt.map_base(0, 100)
+    pt.map_huge(5, 9)
+    assert pt.base_count == 1
+    assert pt.huge_count == 1
+    assert pt.mapped_pages == 1 + PAGES_PER_HUGE
+    assert dict(pt.huge_mappings()) == {5: 9}
+    assert dict(pt.base_mappings()) == {0: 100}
+    assert list(pt.populated_regions()) == [0]

@@ -1,0 +1,56 @@
+"""Unit tests for the page-walk cost model."""
+
+from repro.paging import walker
+
+
+def test_native_walk_refs_match_x86():
+    assert walker.native_walk_refs(huge=False) == 4
+    assert walker.native_walk_refs(huge=True) == 3
+
+
+def test_nested_walk_refs_match_paper():
+    # Section 2.1: up to 24 memory accesses with nested paging.
+    assert walker.nested_walk_refs(False, False) == 24
+    assert walker.nested_walk_refs(True, False) == 19
+    assert walker.nested_walk_refs(False, True) == 19
+    assert walker.nested_walk_refs(True, True) == 15
+
+
+def test_nested_walk_is_much_costlier_than_native():
+    # Section 1: nested walk cost can be ~6x the native cost.
+    native = walker.native_walk_cost(huge=False)
+    nested = walker.nested_walk_cost(False, False)
+    assert nested.refs == 6 * native.refs
+    assert nested.cycles > 3 * native.cycles
+
+
+def test_huge_pages_shorten_walks_monotonically():
+    both_base = walker.nested_walk_cost(False, False)
+    guest_huge = walker.nested_walk_cost(True, False)
+    host_huge = walker.nested_walk_cost(False, True)
+    both_huge = walker.nested_walk_cost(True, True)
+    assert both_huge.cycles < guest_huge.cycles < both_base.cycles
+    assert both_huge.cycles < host_huge.cycles < both_base.cycles
+    assert both_huge.refs < guest_huge.refs < both_base.refs
+
+
+def test_native_huge_walk_cheaper():
+    base = walker.native_walk_cost(huge=False)
+    huge = walker.native_walk_cost(huge=True)
+    assert huge.cycles < base.cycles
+    assert huge.refs < base.refs
+
+
+def test_pwc_absorbs_most_huge_walk_cost():
+    # Huge-page walks only touch well-cached high-level directories
+    # (Section 2.2), so their expected cycles are far below refs * ref_cost.
+    huge = walker.nested_walk_cost(True, True)
+    assert huge.cycles < 0.4 * huge.refs * walker.WALK_REF_CYCLES
+
+
+def test_costs_positive():
+    for guest_huge in (False, True):
+        for host_huge in (False, True):
+            cost = walker.nested_walk_cost(guest_huge, host_huge)
+            assert cost.cycles > 0
+            assert cost.refs > 0

@@ -1,0 +1,53 @@
+"""Unit tests for the system registry."""
+
+import pytest
+
+from repro.core.policy import GeminiGuestPolicy, GeminiHostPolicy
+from repro.policies.registry import PAPER_SYSTEMS, SYSTEMS, system_spec
+from repro.policies.systems import BasePagesOnly, HugeAlways
+
+
+def test_paper_systems_all_registered():
+    assert len(PAPER_SYSTEMS) == 8
+    for name in PAPER_SYSTEMS:
+        assert name in SYSTEMS
+
+
+def test_unknown_system_rejected():
+    with pytest.raises(KeyError, match="unknown system"):
+        system_spec("NoSuchSystem")
+
+
+def test_spec_factories_produce_fresh_instances():
+    spec = system_spec("THP")
+    a = spec.make_guest()
+    b = spec.make_guest()
+    assert a is not b
+    assert type(a) is type(b)
+
+
+def test_static_configurations():
+    misalignment = system_spec("Misalignment")
+    assert isinstance(misalignment.make_guest(), BasePagesOnly)
+    assert isinstance(misalignment.make_host(), HugeAlways)
+    hh = system_spec("Host-H-VM-H")
+    assert isinstance(hh.make_guest(), HugeAlways)
+    assert isinstance(hh.make_host(), HugeAlways)
+    bh = system_spec("Host-B-VM-H")  # host base, VM huge
+    assert isinstance(bh.make_guest(), HugeAlways)
+    assert isinstance(bh.make_host(), BasePagesOnly)
+
+
+def test_gemini_spec():
+    spec = system_spec("Gemini")
+    assert spec.uses_gemini_runtime
+    assert isinstance(spec.make_guest(), GeminiGuestPolicy)
+    assert isinstance(spec.make_host(), GeminiHostPolicy)
+    for name in PAPER_SYSTEMS:
+        if name != "Gemini":
+            assert not system_spec(name).uses_gemini_runtime
+
+
+def test_layer_names_distinct():
+    names = {spec.make_guest().name for spec in SYSTEMS.values()}
+    assert len(names) >= 7

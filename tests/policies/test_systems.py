@@ -1,0 +1,169 @@
+"""Unit tests for the comparison-system policies."""
+
+import pytest
+
+from repro.hypervisor.platform import Platform
+from repro.mem.layout import PAGES_PER_HUGE
+from repro.os.mm import PROCESS, MemoryLayer
+from repro.mem.physmem import PhysicalMemory
+from repro.policies.base import EpochTelemetry
+from repro.policies.systems import (
+    BasePagesOnly,
+    CAPagingPolicy,
+    HawkEyePolicy,
+    HugeAlways,
+    IngensPolicy,
+    RangerPolicy,
+    THPPolicy,
+)
+
+
+def make_layer(policy, regions=64):
+    return MemoryLayer("test", PhysicalMemory(regions * PAGES_PER_HUGE), policy)
+
+
+def fill_region(layer, vregion, pages=PAGES_PER_HUGE):
+    start = vregion * PAGES_PER_HUGE
+    for vpn in range(start, start + pages):
+        if not layer.table(PROCESS).is_mapped(vpn):
+            layer.fault(PROCESS, vpn, full_region=False)
+
+
+def test_base_pages_only_never_huge():
+    policy = BasePagesOnly()
+    layer = make_layer(policy)
+    assert not policy.wants_huge_fault(PROCESS, 0)
+    fill_region(layer, 0)
+    policy.scan(100)
+    assert layer.table(PROCESS).huge_count == 0
+
+
+def test_huge_always_faults_huge():
+    policy = HugeAlways()
+    layer = make_layer(policy)
+    layer.fault(PROCESS, 0, full_region=True)
+    assert layer.table(PROCESS).is_huge(0)
+
+
+def test_thp_sync_fault_budget_enforced():
+    policy = THPPolicy(sync_fault_budget=1)
+    layer = make_layer(policy)
+    layer.fault(PROCESS, 0, full_region=True)
+    assert layer.table(PROCESS).is_huge(0)
+    # Budget exhausted: second region faults base pages.
+    layer.fault(PROCESS, PAGES_PER_HUGE, full_region=True)
+    assert not layer.table(PROCESS).is_huge(1)
+    # The budget resets at the epoch boundary.
+    policy.on_epoch(EpochTelemetry(0, 0.0, 0.0))
+    layer.fault(PROCESS, 2 * PAGES_PER_HUGE, full_region=True)
+    assert layer.table(PROCESS).is_huge(2)
+
+
+def test_thp_defers_after_failed_compaction():
+    policy = THPPolicy(sync_fault_budget=100)
+    policy.defer_limit = 2
+    layer = make_layer(policy, regions=2)
+    # Destroy all free huge regions.
+    layer.memory.alloc_at(100, 0)
+    layer.memory.alloc_at(PAGES_PER_HUGE + 100, 0)
+    for index in range(3):
+        assert policy.alloc_huge_region(PROCESS, index) is None
+    # After defer_limit failures THP stops attempting huge faults.
+    assert not policy.wants_huge_fault(PROCESS, 9)
+    # Each failed attempt charged a direct-compaction stall.
+    assert layer.ledger.count("direct_compaction") == 3
+
+
+def test_thp_scan_period_skips_scans():
+    policy = THPPolicy()
+    layer = make_layer(policy)
+    fill_region(layer, 0)
+    layer.memory.alloc_at(63 * PAGES_PER_HUGE, 0)  # prevent trivial in-place? no-op
+    promoted_first = policy.scan()
+    promoted_second = policy.scan()
+    # scan_period=2: exactly one of two consecutive scans does work.
+    assert (promoted_first == 0) != (promoted_second == 0) or (
+        promoted_first == promoted_second == 0
+    )
+
+
+def test_ingens_waits_for_utilization():
+    policy = IngensPolicy(scan_budget=8)
+    layer = make_layer(policy)
+    fill_region(layer, 0, pages=300)  # 59% utilisation < 90% threshold
+    policy.scan()
+    assert layer.table(PROCESS).huge_count == 0
+    fill_region(layer, 0)  # now fully populated
+    policy.scan()
+    assert layer.table(PROCESS).huge_count == 1
+
+
+def test_hawkeye_promotes_hottest_first():
+    policy = HawkEyePolicy(scan_budget=1)
+    layer = make_layer(policy)
+    fill_region(layer, 0, pages=300)
+    fill_region(layer, 1, pages=500)
+    policy.scan()
+    table = layer.table(PROCESS)
+    # Benefit-sorted: the denser region is promoted first.
+    assert table.is_huge(1)
+    assert not table.is_huge(0)
+
+
+def test_hawkeye_dedup_flag_set():
+    assert HawkEyePolicy().deduplicates_zero_pages
+    assert not IngensPolicy().deduplicates_zero_pages
+
+
+def test_ca_paging_guest_placement_contiguous_not_aligned():
+    platform = Platform(128 * PAGES_PER_HUGE, BasePagesOnly())
+    # Suppress CA-paging's THP-style huge faults to isolate placement.
+    vm = platform.create_vm(64 * PAGES_PER_HUGE, CAPagingPolicy(sync_fault_budget=0))
+    # Make the lowest free frame unaligned so contiguity != alignment.
+    vm.gpa_space.alloc_at(0, 0)
+    vma = vm.mmap(2 * PAGES_PER_HUGE, "arr")
+    platform.touch(vm, vma.start)
+    platform.touch(vm, vma.start + 1)
+    first = vm.translate(vma.start)
+    second = vm.translate(vma.start + 1)
+    assert second == first + 1  # contiguous
+    assert first % PAGES_PER_HUGE != vma.start % PAGES_PER_HUGE  # not aligned
+
+
+def test_ca_paging_host_chunks():
+    policy = CAPagingPolicy(host_chunk_regions=4)
+    layer = make_layer(policy)  # host-like: not virtualized
+    bounds = policy._range_of(0, 5 * PAGES_PER_HUGE)
+    assert bounds is not None
+    start, end = bounds
+    assert end - start == 4 * PAGES_PER_HUGE
+    assert start <= 5 * PAGES_PER_HUGE < end
+
+
+def test_ranger_charges_contiguity_moves():
+    policy = RangerPolicy()
+    layer = make_layer(policy)
+    fill_region(layer, 0)
+    policy.scan()
+    assert layer.ledger.count("ranger_contiguity_moves") > 0
+    assert layer.ledger.count("tlb_shootdown") > 0
+
+
+def test_ranger_reshuffle_relocates_huge_mappings():
+    policy = RangerPolicy()
+    layer = make_layer(policy)
+    fill_region(layer, 0)
+    layer.try_promote_in_place(PROCESS, 0)
+    before = layer.table(PROCESS).huge_target(0)
+    policy.scan()
+    after = layer.table(PROCESS).huge_target(0)
+    assert before is not None and after is not None
+    assert after != before  # the huge mapping moved
+    assert layer.table(PROCESS).is_huge(0)  # but is still huge
+
+
+def test_ranger_scan_without_mappings_is_free():
+    policy = RangerPolicy()
+    layer = make_layer(policy)
+    policy.scan()
+    assert layer.ledger.count("ranger_contiguity_moves") == 0

@@ -1,0 +1,39 @@
+"""Unit tests for the simulation configuration."""
+
+import pytest
+
+from repro.core.runtime import GeminiConfig
+from repro.sim.config import SimulationConfig
+
+
+def test_defaults_are_sane():
+    config = SimulationConfig()
+    assert config.host_mib >= 2 * config.guest_mib
+    assert config.epochs > 0
+    assert 0.0 <= config.fragment_guest < 1.0
+    assert isinstance(config.gemini, GeminiConfig)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SimulationConfig(host_mib=0)
+    with pytest.raises(ValueError):
+        SimulationConfig(guest_mib=-1)
+    with pytest.raises(ValueError):
+        SimulationConfig(epochs=0)
+    with pytest.raises(ValueError):
+        SimulationConfig(fragment_guest=1.0)
+    with pytest.raises(ValueError):
+        SimulationConfig(fragment_host=-0.5)
+
+
+def test_frozen():
+    config = SimulationConfig()
+    with pytest.raises(AttributeError):
+        config.epochs = 5
+
+
+def test_gemini_ablation_flags():
+    config = SimulationConfig(gemini=GeminiConfig(enable_bucket=False))
+    assert not config.gemini.enable_bucket
+    assert config.gemini.enable_ema_hb

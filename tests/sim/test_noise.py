@@ -1,0 +1,79 @@
+"""Unit tests for the OS allocation noise agent."""
+
+import pytest
+
+from repro.hypervisor.platform import Platform
+from repro.mem.layout import PAGES_PER_HUGE
+from repro.policies.base import HugePagePolicy
+from repro.sim.noise import NoiseAgent
+
+
+def make_platform():
+    platform = Platform(128 * PAGES_PER_HUGE, HugePagePolicy())
+    vm = platform.create_vm(32 * PAGES_PER_HUGE, HugePagePolicy())
+    return platform, vm
+
+
+def test_validation():
+    platform, _vm = make_platform()
+    with pytest.raises(ValueError):
+        NoiseAgent(platform, rate=1.5)
+    with pytest.raises(ValueError):
+        NoiseAgent(platform, free_fraction=-0.1)
+
+
+def test_zero_rate_is_silent():
+    platform, vm = make_platform()
+    noise = NoiseAgent(platform, rate=0.0, seed=1)
+    noise.install()
+    vma = vm.mmap(200, "heap")
+    platform.touch_vma(vm, vma)
+    assert noise.allocations == 0
+    assert noise.held_pages == 0
+
+
+def test_noise_interleaves_with_faults():
+    platform, vm = make_platform()
+    noise = NoiseAgent(platform, rate=0.5, seed=1)
+    noise.install()
+    vma = vm.mmap(400, "heap")
+    platform.touch_vma(vm, vma)
+    assert noise.allocations > 50
+    assert noise.held_pages > 0
+
+
+def test_noise_clusters_in_pageblocks():
+    """Unmovable noise stays grouped (migrate-type modelling): the number
+    of guest regions containing noise frames is far below the number of
+    noise allocations."""
+    platform, vm = make_platform()
+    noise = NoiseAgent(platform, rate=0.5, free_fraction=0.0, seed=1)
+    noise.install()
+    vma = vm.mmap(600, "heap")
+    platform.touch_vma(vm, vma)
+    held = noise._guest_held[vm.id]
+    assert len(held) > 100
+    regions = {frame // PAGES_PER_HUGE for frame in held}
+    assert len(regions) <= 3
+
+
+def test_transient_queue_is_bounded():
+    platform, vm = make_platform()
+    noise = NoiseAgent(platform, rate=1.0, seed=1)
+    noise.install()
+    vma = vm.mmap(400, "heap")
+    platform.touch_vma(vm, vma)
+    for fifo in noise._transient.values():
+        assert len(fifo) <= noise.transient_hold
+
+
+def test_noise_is_deterministic():
+    counts = []
+    for _ in range(2):
+        platform, vm = make_platform()
+        noise = NoiseAgent(platform, rate=0.3, seed=9)
+        noise.install()
+        vma = vm.mmap(300, "heap")
+        platform.touch_vma(vm, vma)
+        counts.append(noise.allocations)
+    assert counts[0] == counts[1]

@@ -1,0 +1,51 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "Gemini" in out
+    assert "Redis" in out
+    assert "Table 2" in out
+
+
+def test_run_command(capsys):
+    code = main([
+        "run", "Shore", "--epochs", "4", "--fragment", "0.0",
+        "-s", "Host-B-VM-B", "-s", "THP",
+        "--guest-mib", "128", "--host-mib", "512",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Host-B-VM-B" in out
+    assert "THP" in out
+    assert "1.00x" in out
+
+
+def test_run_unknown_workload():
+    with pytest.raises(KeyError):
+        main(["run", "nosuchworkload", "--epochs", "2"])
+
+
+def test_experiment_choices_enforced():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "not-a-figure"])
+
+
+def test_experiment_fig16_small(capsys):
+    code = main([
+        "experiment", "fig16", "--epochs", "6", "-w", "Shore",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Figure 16" in out
+    assert "EMA/HB" in out

@@ -1,0 +1,113 @@
+"""Integration tests: the paper's headline claims at reduced scale.
+
+These are quick (seconds-scale) versions of the checks the benchmark
+harness performs at full scale; each pins one structural claim of the
+paper so a regression anywhere in the stack is caught by `pytest tests/`.
+"""
+
+import pytest
+
+from repro.sim import Simulation, SimulationConfig
+from repro.workloads import make_workload
+from repro.workloads.microbench import RandomAccessMicrobench
+
+FRAG = SimulationConfig(epochs=12, fragment_guest=0.8, fragment_host=0.8)
+
+
+def run(workload_name, system, config=FRAG, primer=None):
+    return Simulation(
+        make_workload(workload_name), system=system, config=config, primer=primer
+    ).run_single()
+
+
+@pytest.fixture(scope="module")
+def redis_results():
+    systems = [
+        "Host-B-VM-B", "Misalignment", "THP", "Ingens", "HawkEye",
+        "Translation-Ranger", "Gemini",
+    ]
+    return {system: run("Redis", system) for system in systems}
+
+
+def test_misaligned_huge_pages_barely_help(redis_results):
+    """Section 2.2/2.3: huge pages in one layer only improve performance
+    only incrementally over base pages."""
+    base = redis_results["Host-B-VM-B"]
+    misaligned = redis_results["Misalignment"]
+    assert 1.0 < misaligned.throughput / base.throughput < 1.35
+    # Misaligned huge pages do not reduce TLB misses.
+    assert misaligned.tlb_misses == pytest.approx(base.tlb_misses, rel=0.05)
+
+
+def test_gemini_best_throughput(redis_results):
+    gemini = redis_results["Gemini"]
+    for system, result in redis_results.items():
+        if system != "Gemini":
+            assert gemini.throughput >= result.throughput, system
+
+
+def test_gemini_highest_alignment(redis_results):
+    gemini = redis_results["Gemini"]
+    assert gemini.well_aligned_rate > 0.5
+    for system in ("THP", "Ingens", "HawkEye", "Translation-Ranger"):
+        assert gemini.well_aligned_rate >= redis_results[system].well_aligned_rate
+
+
+def test_gemini_fewest_tlb_misses(redis_results):
+    gemini = redis_results["Gemini"]
+    for system in ("Host-B-VM-B", "THP", "Ingens", "HawkEye"):
+        assert redis_results[system].tlb_misses > 1.2 * gemini.tlb_misses, system
+
+
+def test_ranger_migrations_negate_benefits(redis_results):
+    """Section 6.2: Translation-Ranger's page migrations cost it all of
+    its translation savings."""
+    base = redis_results["Host-B-VM-B"]
+    ranger = redis_results["Translation-Ranger"]
+    assert ranger.throughput < 1.2 * base.throughput
+    # Ranger ends below every other coalescing system.
+    for system in ("THP", "Ingens", "HawkEye", "Gemini"):
+        assert ranger.throughput <= redis_results[system].throughput, system
+    # Yet it does create many huge pages.
+    assert ranger.huge_pages > redis_results["THP"].huge_pages
+
+
+def test_gemini_reduces_latency(redis_results):
+    base = redis_results["Host-B-VM-B"]
+    gemini = redis_results["Gemini"]
+    assert gemini.mean_latency < 0.85 * base.mean_latency
+    assert gemini.p99_latency < 0.95 * base.p99_latency
+
+
+def test_microbench_alignment_effect():
+    """Figure 2: only well-aligned huge pages cut TLB misses."""
+    config = SimulationConfig(epochs=5, noise_rate=0.0)
+    bench = {}
+    for system in ("Host-B-VM-B", "Host-H-VM-H", "Host-B-VM-H"):
+        result = Simulation(
+            RandomAccessMicrobench(32.0), system=system, config=config
+        ).run_single()
+        bench[system] = result
+    assert bench["Host-H-VM-H"].tlb_misses < 0.05 * bench["Host-B-VM-B"].tlb_misses
+    assert bench["Host-B-VM-H"].tlb_misses == pytest.approx(
+        bench["Host-B-VM-B"].tlb_misses, rel=0.05
+    )
+
+
+def test_reused_vm_bucket_advantage():
+    """Section 6.3: after a big workload finishes in the VM, Gemini reuses
+    its well-aligned huge pages; baselines splinter them."""
+    config = SimulationConfig(epochs=12, fragment_guest=0.3, fragment_host=0.3)
+    gemini = run("Masstree", "Gemini", config=config, primer=make_workload("SVM"))
+    ingens = run("Masstree", "Ingens", config=config, primer=make_workload("SVM"))
+    assert gemini.throughput > ingens.throughput
+    assert gemini.well_aligned_rate > ingens.well_aligned_rate
+    assert gemini.gemini_stats.get("bucket_reuse_rate", 0.0) > 0.3
+
+
+def test_non_tlb_sensitive_overhead_negligible():
+    """Section 6.5: Gemini introduces negligible overhead where there is
+    nothing to gain."""
+    base = run("Shore", "Host-B-VM-B")
+    gemini = run("Shore", "Gemini")
+    assert gemini.throughput == pytest.approx(base.throughput, rel=0.10)

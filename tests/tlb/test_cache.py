@@ -1,0 +1,95 @@
+"""Unit tests for the trace-driven set-associative TLB."""
+
+import pytest
+
+from repro.mem.layout import PAGES_PER_HUGE
+from repro.tlb.cache import SetAssociativeTLB
+
+
+def test_construction_validation():
+    with pytest.raises(ValueError):
+        SetAssociativeTLB(entries=0)
+    with pytest.raises(ValueError):
+        SetAssociativeTLB(entries=16, ways=0)
+    with pytest.raises(ValueError):
+        SetAssociativeTLB(entries=10, ways=3)
+
+
+def test_first_access_misses_then_hits():
+    tlb = SetAssociativeTLB(entries=64, ways=4)
+    assert tlb.access(5) is False
+    assert tlb.access(5) is True
+    assert tlb.stats.hits == 1
+    assert tlb.stats.misses == 1
+    assert tlb.stats.miss_rate == 0.5
+
+
+def test_huge_entry_covers_whole_region():
+    tlb = SetAssociativeTLB(entries=64, ways=4)
+    tlb.access(0, huge=True)
+    # Any VPN in the same 2 MiB region hits the same entry.
+    assert tlb.access(511, huge=True) is True
+    assert tlb.access(PAGES_PER_HUGE, huge=True) is False
+
+
+def test_base_and_huge_entries_are_distinct():
+    tlb = SetAssociativeTLB(entries=64, ways=4)
+    tlb.access(0, huge=True)
+    # A base lookup of vpn 0 is a different key and misses.
+    assert tlb.access(0, huge=False) is False
+
+
+def test_lru_eviction_within_set():
+    tlb = SetAssociativeTLB(entries=4, ways=2)  # 2 sets of 2 ways
+    # VPNs 0, 2, 4 all map to set 0.
+    tlb.access(0)
+    tlb.access(2)
+    tlb.access(4)  # evicts 0 (LRU)
+    assert tlb.access(2) is True
+    assert tlb.access(0) is False
+
+
+def test_lru_updated_on_hit():
+    tlb = SetAssociativeTLB(entries=4, ways=2)
+    tlb.access(0)
+    tlb.access(2)
+    tlb.access(0)  # refresh 0; now 2 is LRU
+    tlb.access(4)  # evicts 2
+    assert tlb.access(0) is True
+    assert tlb.access(2) is False
+
+
+def test_flush_invalidates_everything():
+    tlb = SetAssociativeTLB(entries=64, ways=4)
+    for vpn in range(16):
+        tlb.access(vpn)
+    assert tlb.occupancy == 16
+    tlb.flush()
+    assert tlb.occupancy == 0
+    assert tlb.access(0) is False
+
+
+def test_working_set_within_capacity_has_no_steady_state_misses():
+    tlb = SetAssociativeTLB(entries=64, ways=64)  # fully associative
+    for _ in range(3):
+        for vpn in range(64):
+            tlb.access(vpn)
+    # 64 compulsory misses, everything else hits.
+    assert tlb.stats.misses == 64
+    assert tlb.stats.hits == 2 * 64
+
+
+def test_working_set_exceeding_capacity_thrashes_under_lru():
+    tlb = SetAssociativeTLB(entries=64, ways=64)
+    for _ in range(3):
+        for vpn in range(65):  # one more than capacity: LRU worst case
+            tlb.access(vpn)
+    assert tlb.stats.hits == 0
+
+
+def test_reset_stats_keeps_contents():
+    tlb = SetAssociativeTLB(entries=64, ways=4)
+    tlb.access(1)
+    tlb.reset_stats()
+    assert tlb.stats.accesses == 0
+    assert tlb.access(1) is True

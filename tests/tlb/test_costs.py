@@ -1,0 +1,45 @@
+"""Sanity tests for the cycle-cost constants: the paper's ratios must hold
+regardless of absolute calibration."""
+
+from repro.paging.walker import native_walk_cost, nested_walk_cost
+from repro.tlb import costs
+
+
+def test_all_costs_positive():
+    for name in dir(costs):
+        if name.isupper():
+            value = getattr(costs, name)
+            assert value > 0, name
+
+
+def test_nested_walk_much_costlier_than_native():
+    # Section 1: nested walk cost can be ~6x a native walk.
+    native = native_walk_cost(huge=False).cycles
+    nested = nested_walk_cost(False, False).cycles
+    assert 3.0 <= nested / native <= 8.0
+
+
+def test_huge_fault_costlier_than_base_fault():
+    # Zeroing 2 MiB vs 4 KiB: a huge fault is much dearer per event but
+    # far cheaper than 512 base faults.
+    assert costs.HUGE_FAULT_CYCLES > 10 * costs.BASE_FAULT_CYCLES
+    assert costs.HUGE_FAULT_CYCLES < 512 * costs.BASE_FAULT_CYCLES
+
+
+def test_virtualized_shootdowns_amplified():
+    # Section 6.2: shoot-downs are costlier in VMs (vCPU preemption).
+    assert costs.VIRT_SHOOTDOWN_FACTOR > 1.0
+
+
+def test_inplace_promotion_much_cheaper_than_migration():
+    # Migration-based promotion copies 512 pages; in-place does not.
+    migration = 512 * costs.PAGE_COPY_CYCLES
+    assert costs.INPLACE_PROMOTION_CYCLES < 0.05 * migration
+
+
+def test_background_work_discounted():
+    assert 0.0 < costs.BACKGROUND_DISCOUNT < 1.0
+
+
+def test_translation_hit_is_cheap():
+    assert costs.TLB_HIT_CYCLES < costs.BASE_ACCESS_CYCLES

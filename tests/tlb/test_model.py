@@ -1,0 +1,97 @@
+"""Unit tests for the analytic TLB capacity model."""
+
+import pytest
+
+from repro.tlb.model import TLBConfig, TLBModel, TranslationSegment
+
+
+def segment(entries, accesses, walk=100.0, label=""):
+    return TranslationSegment(
+        entries=entries, accesses=accesses, walk_cycles=walk, label=label
+    )
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TLBConfig(entries=0)
+    with pytest.raises(ValueError):
+        TLBConfig(utilization=0.0)
+    with pytest.raises(ValueError):
+        TLBConfig(utilization=1.5)
+
+
+def test_segment_validation():
+    with pytest.raises(ValueError):
+        segment(-1, 10)
+    with pytest.raises(ValueError):
+        segment(1, -10)
+
+
+def test_fits_in_tlb_only_compulsory_misses():
+    model = TLBModel(TLBConfig(entries=1000, utilization=1.0))
+    stats = model.evaluate([segment(entries=100, accesses=100_000)])
+    assert stats.misses == pytest.approx(100)  # one per entry
+    assert stats.miss_rate < 0.01
+
+
+def test_oversubscribed_tlb_misses_scale_with_overflow():
+    model = TLBModel(TLBConfig(entries=100, utilization=1.0))
+    stats = model.evaluate([segment(entries=1000, accesses=100_000)])
+    # 10% resident: ~90% of accesses miss.
+    assert stats.miss_rate == pytest.approx(0.9, abs=0.01)
+
+
+def test_hot_segment_gets_residency_first():
+    model = TLBModel(TLBConfig(entries=100, utilization=1.0))
+    hot = segment(entries=100, accesses=100_000, label="hot")
+    cold = segment(entries=1000, accesses=1_000, label="cold")
+    stats = model.evaluate([hot, cold])
+    by_label = {r.segment.label: r for r in stats.segments}
+    assert by_label["hot"].resident_entries == pytest.approx(100)
+    assert by_label["cold"].resident_entries == 0
+    assert by_label["cold"].misses == pytest.approx(1_000)
+
+
+def test_walk_cycles_weighted_by_segment_cost():
+    model = TLBModel(TLBConfig(entries=1, utilization=1.0))
+    cheap = segment(entries=1000, accesses=1000, walk=10.0)
+    stats = model.evaluate([cheap])
+    assert stats.walk_cycles == pytest.approx(stats.misses * 10.0)
+
+
+def test_alignment_shrinks_entry_demand():
+    """The paper's core mechanism: a well-aligned huge region needs 512x
+    fewer entries, so alignment slashes misses at equal footprint."""
+    model = TLBModel(TLBConfig(entries=256, utilization=1.0))
+    # Same 32 MiB of hot data: 8192 base entries vs 16 huge entries.
+    splintered = model.evaluate([segment(entries=8192, accesses=1_000_000)])
+    aligned = model.evaluate([segment(entries=16, accesses=1_000_000)])
+    assert aligned.misses < 0.01 * splintered.misses
+
+
+def test_misses_never_exceed_accesses():
+    model = TLBModel(TLBConfig(entries=10, utilization=1.0))
+    stats = model.evaluate([segment(entries=100_000, accesses=50)])
+    assert stats.misses <= stats.accesses
+
+
+def test_zero_access_segments_reported_but_free():
+    model = TLBModel()
+    stats = model.evaluate([segment(entries=100, accesses=0, label="idle")])
+    assert stats.accesses == 0
+    assert stats.misses == 0
+    assert len(stats.segments) == 1
+
+
+def test_translation_cycles_combines_hits_and_walks():
+    model = TLBModel(TLBConfig(entries=100, utilization=1.0, hit_cycles=1.0))
+    stats = model.evaluate([segment(entries=50, accesses=1000, walk=100.0)])
+    expected = stats.hits * 1.0 + stats.walk_cycles
+    assert stats.translation_cycles(1.0) == pytest.approx(expected)
+
+
+def test_empty_evaluation():
+    stats = TLBModel().evaluate([])
+    assert stats.accesses == 0
+    assert stats.miss_rate == 0.0
+    assert stats.translation_cycles() == 0.0

@@ -1,0 +1,51 @@
+"""Cross-validation: the analytic capacity model must agree with the
+trace-driven set-associative TLB on simple uniform-random workloads."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tlb.cache import SetAssociativeTLB
+from repro.tlb.model import TLBConfig, TLBModel, TranslationSegment
+
+
+def trace_miss_rate(n_pages, n_accesses, entries, seed=0):
+    rng = random.Random(seed)
+    tlb = SetAssociativeTLB(entries=entries, ways=entries)  # fully assoc.
+    for _ in range(n_accesses):
+        tlb.access(rng.randrange(n_pages))
+    return tlb.stats.miss_rate
+
+
+def model_miss_rate(n_pages, n_accesses, entries):
+    model = TLBModel(TLBConfig(entries=entries, utilization=1.0))
+    stats = model.evaluate(
+        [TranslationSegment(entries=n_pages, accesses=n_accesses, walk_cycles=1.0)]
+    )
+    return stats.miss_rate
+
+
+@pytest.mark.parametrize(
+    "n_pages,entries",
+    [(64, 128), (256, 128), (1024, 128), (4096, 128)],
+)
+def test_model_tracks_trace_for_uniform_random(n_pages, entries):
+    accesses = 60_000
+    traced = trace_miss_rate(n_pages, accesses, entries)
+    modelled = model_miss_rate(n_pages, accesses, entries)
+    assert modelled == pytest.approx(traced, abs=0.08)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_pages=st.integers(min_value=32, max_value=2048),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_model_within_tolerance_across_sizes(n_pages, seed):
+    entries = 128
+    accesses = 30_000
+    traced = trace_miss_rate(n_pages, accesses, entries, seed=seed)
+    modelled = model_miss_rate(n_pages, accesses, entries)
+    assert abs(modelled - traced) < 0.1

@@ -1,0 +1,66 @@
+"""Unit tests for the workload interface and context."""
+
+import pytest
+
+from repro.hypervisor.platform import Platform
+from repro.mem.layout import MIB, PAGE_SIZE, PAGES_PER_HUGE
+from repro.policies.base import HugePagePolicy
+from repro.workloads.base import AccessPhase, Workload, WorkloadContext
+
+
+def make_context():
+    platform = Platform(256 * PAGES_PER_HUGE, HugePagePolicy())
+    vm = platform.create_vm(64 * PAGES_PER_HUGE, HugePagePolicy())
+    return WorkloadContext(platform, vm, seed=1)
+
+
+def test_access_phase_validation():
+    with pytest.raises(ValueError):
+        AccessPhase("x", weight=-1.0)
+    with pytest.raises(ValueError):
+        AccessPhase("x", hot_fraction=0.0)
+    with pytest.raises(ValueError):
+        AccessPhase("x", hot_fraction=1.5)
+    phase = AccessPhase("x", weight=0.5, hot_fraction=0.2)
+    assert phase.vma == "x"
+
+
+def test_context_mmap_and_touch():
+    ctx = make_context()
+    vma = ctx.mmap("heap", 100)
+    assert ctx.has("heap")
+    assert ctx.vma("heap") is vma
+    ctx.touch("heap", start=0, npages=10)
+    assert ctx.vm.table().base_count == 10
+    ctx.touch_all("heap")
+    assert ctx.vm.table().base_count == 100
+
+
+def test_context_mmap_mib():
+    ctx = make_context()
+    vma = ctx.mmap_mib("arr", 2.0)
+    assert vma.npages == 2 * MIB // PAGE_SIZE
+
+
+def test_context_munmap():
+    ctx = make_context()
+    ctx.mmap("heap", 100)
+    ctx.touch_all("heap")
+    ctx.munmap("heap")
+    assert not ctx.has("heap")
+    assert ctx.vm.table().base_count == 0
+
+
+def test_context_vma_names():
+    ctx = make_context()
+    ctx.mmap("a", 10)
+    ctx.mmap("b", 10)
+    assert ctx.vma_names() == ["a", "b"]
+
+
+def test_workload_defaults():
+    workload = Workload()
+    assert workload.access_phases(0) == []
+    assert 0.0 < workload.tlb_sensitivity <= 1.0
+    assert workload.accesses_per_epoch > 0
+    assert workload.ops_per_epoch > 0

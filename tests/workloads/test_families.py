@@ -1,0 +1,104 @@
+"""Unit tests for the workload families."""
+
+import pytest
+
+from repro.hypervisor.platform import Platform
+from repro.mem.layout import PAGES_PER_HUGE
+from repro.policies.base import HugePagePolicy
+from repro.workloads.base import WorkloadContext
+from repro.workloads.families import DynamicChurnWorkload, StaticArrayWorkload
+
+
+def make_context():
+    platform = Platform(512 * PAGES_PER_HUGE, HugePagePolicy())
+    vm = platform.create_vm(160 * PAGES_PER_HUGE, HugePagePolicy())
+    return WorkloadContext(platform, vm, seed=7)
+
+
+def test_static_array_setup_touches_everything():
+    ctx = make_context()
+    workload = StaticArrayWorkload("test", footprint_mib=8, arrays=2)
+    workload.setup(ctx)
+    assert len(ctx.vm.address_space) == 2
+    # Fully faulted up front.
+    assert ctx.vm.table().mapped_pages == ctx.vm.address_space.mapped_pages
+
+
+def test_static_array_access_phases_cover_all_arrays():
+    workload = StaticArrayWorkload("test", footprint_mib=8, arrays=4, hot_fraction=0.5)
+    phases = workload.access_phases(3)
+    assert len(phases) == 4
+    assert sum(p.weight for p in phases) == pytest.approx(1.0)
+    assert all(p.hot_fraction == 0.5 for p in phases)
+
+
+def test_static_array_run_epoch_is_stable():
+    ctx = make_context()
+    workload = StaticArrayWorkload("test", footprint_mib=8)
+    workload.setup(ctx)
+    mapped = ctx.vm.table().mapped_pages
+    workload.run_epoch(ctx, 1)
+    assert ctx.vm.table().mapped_pages == mapped
+
+
+def test_dynamic_churn_validation():
+    with pytest.raises(ValueError):
+        DynamicChurnWorkload("x", segments=0)
+    with pytest.raises(ValueError):
+        DynamicChurnWorkload("x", grow_epochs=0)
+
+
+def test_dynamic_churn_grows_then_churns():
+    ctx = make_context()
+    workload = DynamicChurnWorkload(
+        "test", footprint_mib=16, segments=8, grow_epochs=4, churn_segments=2
+    )
+    workload.setup(ctx)
+    initial = len(workload._live)
+    assert initial >= 1
+    epoch = 0
+    while len(workload._live) < workload.segments:
+        workload.run_epoch(ctx, epoch)
+        epoch += 1
+        assert epoch < 20, "growth did not terminate"
+    assert len(workload._live) == 8
+    # Steady state: churn keeps the live count constant but replaces names.
+    before = set(workload._live)
+    workload.run_epoch(ctx, epoch)
+    after = set(workload._live)
+    assert len(after) == 8
+    assert before != after
+    assert len(before - after) == 2
+
+
+def test_dynamic_churn_frees_old_segments():
+    ctx = make_context()
+    workload = DynamicChurnWorkload(
+        "test", footprint_mib=16, segments=4, grow_epochs=1, churn_segments=1
+    )
+    workload.setup(ctx)
+    for epoch in range(8):
+        workload.run_epoch(ctx, epoch)
+    # Address space holds exactly the live segments.
+    assert sorted(v.name for v in ctx.vm.address_space.vmas()) == sorted(workload._live)
+
+
+def test_dynamic_churn_access_phases_weight_recent():
+    ctx = make_context()
+    workload = DynamicChurnWorkload(
+        "test", footprint_mib=16, segments=4, grow_epochs=1, hot_recency_bias=4.0
+    )
+    workload.setup(ctx)
+    for epoch in range(4):
+        workload.run_epoch(ctx, epoch)
+    phases = workload.access_phases(5)
+    assert len(phases) == len(workload._live)
+    weights = [p.weight for p in phases]
+    assert sum(weights) == pytest.approx(1.0)
+    # Later (newer) segments get more accesses.
+    assert weights[-1] > weights[0]
+
+
+def test_dynamic_churn_no_phases_before_setup():
+    workload = DynamicChurnWorkload("test", footprint_mib=16, segments=4)
+    assert workload.access_phases(0) == []

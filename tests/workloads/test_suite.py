@@ -1,0 +1,78 @@
+"""Unit tests for the Table 2 application suite."""
+
+import pytest
+
+from repro.workloads.families import DynamicChurnWorkload, StaticArrayWorkload
+from repro.workloads.microbench import RandomAccessMicrobench
+from repro.workloads.suite import (
+    LATENCY_SUITE,
+    MOTIVATION_SUITE,
+    NON_TLB_SENSITIVE,
+    TLB_SENSITIVE_SUITE,
+    make_workload,
+    workload_names,
+)
+
+
+def test_all_workloads_instantiate():
+    for name in workload_names():
+        workload = make_workload(name)
+        assert workload.name == name
+        assert workload.description
+        assert 0.0 < workload.tlb_sensitivity <= 1.0
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(KeyError):
+        make_workload("nosuchapp")
+
+
+def test_suite_membership():
+    assert len(TLB_SENSITIVE_SUITE) == 16
+    assert set(MOTIVATION_SUITE) <= set(TLB_SENSITIVE_SUITE)
+    assert set(LATENCY_SUITE) <= set(TLB_SENSITIVE_SUITE)
+    for name in NON_TLB_SENSITIVE:
+        assert name not in TLB_SENSITIVE_SUITE
+
+
+def test_fresh_instance_per_call():
+    a = make_workload("Redis")
+    b = make_workload("Redis")
+    assert a is not b
+
+
+def test_latency_suite_reports_latency():
+    for name in LATENCY_SUITE:
+        assert make_workload(name).reports_latency, name
+
+
+def test_non_tlb_sensitive_have_low_sensitivity():
+    for name in NON_TLB_SENSITIVE:
+        workload = make_workload(name)
+        assert workload.tlb_sensitivity < 0.1, name
+    for name in TLB_SENSITIVE_SUITE:
+        workload = make_workload(name)
+        assert workload.tlb_sensitivity > 0.2, name
+
+
+def test_paper_characterisations_hold():
+    # Section 6.2: Redis/RocksDB allocate large memory gradually with
+    # dynamic structures; SVM/CG.D use large static arrays uniformly.
+    for name in ("Redis", "RocksDB", "Memcached"):
+        workload = make_workload(name)
+        assert isinstance(workload, DynamicChurnWorkload), name
+        assert workload.churn_segments >= 2, name
+    for name in ("SVM", "CG.D"):
+        workload = make_workload(name)
+        assert isinstance(workload, StaticArrayWorkload), name
+        assert workload.hot_fraction == 1.0, name
+    # Section 6.2: Specjbb's zero pages are deduplicated by HawkEye.
+    assert make_workload("Specjbb").zero_page_dedup_rate > 0
+    assert make_workload("Redis").zero_page_dedup_rate == 0
+
+
+def test_microbench():
+    bench = RandomAccessMicrobench(8.0)
+    assert "8" in bench.name
+    assert bench.access_phases(0)[0].vma == "data"
+    assert bench.access_phases(0)[0].hot_fraction == 1.0
