@@ -6,10 +6,19 @@ reduced relative to the full experiment API (`repro.experiments`) to keep
 ``pytest benchmarks/ --benchmark-only`` in the minutes range; every
 workload family (latency server, K/V churn, static arrays) stays
 represented.  Formatted tables are written to ``benchmarks/results/``.
+
+The matrix fixtures run through the shared executor
+(:mod:`repro.exec`): set ``REPRO_WORKERS`` to fan cells across processes,
+and a session-wide result cache under ``benchmarks/.result_cache``
+deduplicates cells shared between fixtures and serves unchanged cells
+instantly on repeat runs (the cache key includes a code-version tag, so
+simulator edits invalidate it).  Set ``REPRO_CACHE_DIR`` to relocate the
+cache, or ``REPRO_CACHE_DIR=""`` to disable it.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -17,6 +26,12 @@ import pytest
 from repro.experiments import clean_slate, collocation, fig02_microbench, fig03_motivation
 from repro.experiments import breakdown as breakdown_mod
 from repro.experiments import reused_vm as reused_mod
+
+#: Session-wide result cache for the matrix fixtures (overridable, and
+#: disabled entirely with REPRO_CACHE_DIR="").
+os.environ.setdefault(
+    "REPRO_CACHE_DIR", str(pathlib.Path(__file__).parent / ".result_cache")
+)
 
 #: Representative subset of Table 2 used by the benches (one per family).
 BENCH_SUITE = [

@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.exec import Cell, ResultCache, run_cells
 from repro.experiments import (
     ablations,
     breakdown,
@@ -31,9 +32,9 @@ from repro.experiments import (
     sweeps,
     validation,
 )
+from repro.metrics.report import format_cache_stats
 from repro.policies.registry import PAPER_SYSTEMS, SYSTEMS
 from repro.sim.config import SimulationConfig
-from repro.sim.engine import Simulation
 from repro.workloads.suite import make_workload, workload_names
 
 __all__ = ["main", "build_parser"]
@@ -65,6 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=42)
     run.add_argument("--reused-vm", action="store_true",
                      help="prime the VM with a full SVM run first")
+    _add_exec_args(run)
 
     experiment = sub.add_parser("experiment", help="regenerate a paper table/figure")
     experiment.add_argument(
@@ -81,7 +83,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--workload", "-w", action="append", dest="workloads",
         help="restrict to specific workloads; repeatable",
     )
+    _add_exec_args(experiment)
     return parser
+
+
+def _add_exec_args(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--workers", type=int, default=None,
+        help="simulation worker processes (default: $REPRO_WORKERS or 1)",
+    )
+    command.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or no cache)",
+    )
+
+
+def _apply_exec_args(args: argparse.Namespace) -> None:
+    """Publish --workers/--cache-dir where the experiment harness reads
+    them (the executor's environment knobs)."""
+    import os
+
+    if args.workers is not None:
+        os.environ["REPRO_WORKERS"] = str(args.workers)
+    if args.cache_dir is not None:
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
 
 
 def _cmd_list() -> int:
@@ -107,21 +132,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         host_mib=args.host_mib,
         seed=args.seed,
     )
+    primer_factory = _svm_primer if args.reused_vm else None
+    cells = [Cell(args.workload, system, config, primer_factory) for system in systems]
+    cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache.from_env()
+    results = run_cells(cells, workers=args.workers, cache=cache)
     header = (
         f"{'system':<20s} {'throughput':>10s} {'mean lat':>9s} {'p99':>9s} "
         f"{'TLB misses':>11s} {'aligned':>8s}"
     )
     print(header)
     print("-" * len(header))
-    baseline = None
-    for system in systems:
-        primer = make_workload("SVM") if args.reused_vm else None
-        result = Simulation(
-            make_workload(args.workload), system=system, config=config,
-            primer=primer,
-        ).run_single()
-        if baseline is None:
-            baseline = result
+    baseline = results[0]
+    for system, result in zip(systems, results):
         print(
             f"{system:<20s} "
             f"{result.throughput / baseline.throughput:>9.2f}x "
@@ -130,7 +152,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{result.tlb_misses:>11.2e} "
             f"{result.well_aligned_rate:>7.0%}"
         )
+    if cache is not None and cache.stats.requests:
+        print()
+        print(format_cache_stats(cache.stats))
     return 0
+
+
+def _svm_primer():
+    """Module-level primer factory (picklable for worker processes)."""
+    return make_workload("SVM")
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -197,6 +227,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    _apply_exec_args(args)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "experiment":

@@ -122,6 +122,15 @@ class GeminiGuestPolicy(CoalescingPolicy):
             return None
         return self._placer.place(client, vpn)
 
+    def choose_base_frames(
+        self, client: int, vpn: int, max_pages: int
+    ) -> tuple[int | None, int] | None:
+        assert self._placer is not None
+        if self.booking is None:
+            # EMA/HB ablated: every page takes the default allocator.
+            return (None, max_pages)
+        return self._placer.place_run(client, vpn, max_pages)
+
     def _vma_bounds(self, client: int, vpn: int) -> tuple[int, int] | None:
         assert self.layer is not None
         if self.layer.vma_bounds is None:

@@ -1,0 +1,46 @@
+"""Experiment cells: picklable units of simulation work.
+
+A :class:`Cell` captures everything needed to run one (workload, system,
+config) simulation in any process: workload and system are referenced by
+registry name, the config is a frozen dataclass, and the optional primer
+is a zero-argument *factory* (a module-level function, so it pickles by
+reference) rather than a workload instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.sim.config import SimulationConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.results import RunResult
+    from repro.workloads.base import Workload
+
+__all__ = ["Cell", "execute_cell"]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One (workload, system, config) simulation, ready to ship anywhere."""
+
+    workload: str
+    system: str
+    config: SimulationConfig
+    primer_factory: "Callable[[], Workload] | None" = None
+
+
+def execute_cell(cell: Cell) -> "RunResult":
+    """Run one cell to completion; deterministic in the cell's seed."""
+    from repro.sim.engine import Simulation
+    from repro.workloads.suite import make_workload
+
+    primer = cell.primer_factory() if cell.primer_factory is not None else None
+    simulation = Simulation(
+        make_workload(cell.workload),
+        system=cell.system,
+        config=cell.config,
+        primer=primer,
+    )
+    return simulation.run_single()

@@ -14,12 +14,10 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from repro.exec import Cell, ResultCache, run_cells
 from repro.policies.registry import PAPER_SYSTEMS
 from repro.sim.config import SimulationConfig
-from repro.sim.engine import Simulation
 from repro.sim.results import RunResult
-from repro.workloads.base import Workload
-from repro.workloads.suite import make_workload
 
 __all__ = [
     "FRAGMENTED",
@@ -45,27 +43,33 @@ def run_matrix(
     config: SimulationConfig = FRAGMENTED,
     primer_factory=None,
     epochs: int | None = None,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
 ) -> dict[str, dict[str, RunResult]]:
     """Run every (workload, system) pair; returns results[workload][system].
 
     *primer_factory*, if given, builds a fresh primer workload per run (the
     reused-VM scenario).  *epochs* overrides the config's epoch count (used
     by the benchmarks to keep runtimes short).
+
+    Cells are independent simulations, so they fan out across a process
+    pool — *workers* (or the ``REPRO_WORKERS`` environment variable)
+    controls the width, defaulting to serial — and completed cells are
+    served from *cache* (or ``REPRO_CACHE_DIR``) when available.  The
+    result matrix is identical in every mode.
     """
     systems = systems or PAPER_SYSTEMS
     if epochs is not None:
         config = replace(config, epochs=epochs)
+    cells = [
+        Cell(workload, system, config, primer_factory)
+        for workload in workloads
+        for system in systems
+    ]
+    flat = run_cells(cells, workers=workers, cache=cache)
     results: dict[str, dict[str, RunResult]] = {}
-    for workload_name in workloads:
-        row: dict[str, RunResult] = {}
-        for system in systems:
-            workload = make_workload(workload_name)
-            primer: Workload | None = primer_factory() if primer_factory else None
-            simulation = Simulation(
-                workload, system=system, config=config, primer=primer
-            )
-            row[system] = simulation.run_single()
-        results[workload_name] = row
+    for cell, result in zip(cells, flat):
+        results.setdefault(cell.workload, {})[cell.system] = result
     return results
 
 

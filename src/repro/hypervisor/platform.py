@@ -37,6 +37,9 @@ class Platform:
         #: the simulation engine hooks OS allocation noise in here so that
         #: kernel/slab-style allocations interleave with workload faults.
         self.fault_hook = None
+        #: Serve multi-page touches through the batched fault path (same
+        #: results, O(spans) work); False forces the per-page path.
+        self.batch_faults = True
 
     @classmethod
     def with_mib(
@@ -95,8 +98,76 @@ class Platform:
     def touch_vma(self, vm: VM, vma: VMA, start: int = 0, npages: int | None = None) -> None:
         """Touch a slice of *vma* (offsets relative to its start)."""
         count = vma.npages - start if npages is None else npages
-        for vpn in range(vma.start + start, vma.start + start + count):
-            self.touch(vm, vpn)
+        self.touch_range(vm, vma.start + start, count)
+
+    def touch_range(self, vm: VM, start: int, npages: int) -> None:
+        """Touch ``[start, start + npages)``, batching the fault path.
+
+        Produces the identical end state (mappings, allocator layout,
+        ledger totals, RNG stream) as *npages* :meth:`touch` calls.  The
+        per-page path is kept for ``batch_faults=False`` and for foreign
+        fault hooks that cannot pre-commit to a noise-free window.
+        """
+        end = start + npages
+        hook = self.fault_hook
+        horizon = getattr(hook, "act_horizon", None)
+        if not self.batch_faults or (hook is not None and horizon is None):
+            for vpn in range(start, end):
+                self.touch(vm, vpn)
+            return
+        pos = start
+        while pos < end:
+            if vm.translate(pos) is not None:
+                # Guest-mapped: only the host layer can fault; no batching
+                # needed, the per-page path is already O(1) here.
+                self.touch(vm, pos)
+                pos += 1
+                continue
+            window = end - pos
+            n = window if horizon is None else horizon(window)
+            if n <= 0:
+                # The very next fault triggers noise: deliver it per-page
+                # so the noise allocation lands at its exact position.
+                self.touch(vm, pos)
+                pos += 1
+                continue
+            pos += self._touch_unmapped_run(vm, pos, n)
+
+    def _touch_unmapped_run(self, vm: VM, start: int, npages: int) -> int:
+        """Fault a window starting at a guest-unmapped page; returns the
+        number of pages handled.  Caller guarantees none of the resulting
+        fault notifications triggers noise."""
+        vma = vm.address_space.find(start)
+        if vma is None:
+            raise ValueError(f"{vm.name}: touch of unmapped vpn {start}")
+        npages = min(npages, vma.end - start)
+        spans = vm.guest.fault_range(
+            PROCESS, start, npages, full_region_of=vma.covers_full_region
+        )
+        # Replay the per-page fault notifications: a page notifies iff it
+        # triggered a fault at either layer (per-page delivery fires the
+        # hook once per faulting touch).  Only the counts matter — none of
+        # these notifications acts, so their relative order is free.
+        fires = 0
+        for _, gpn, count, guest_kind in spans:
+            host_spans = self.host.fault_range(vm.id, gpn, count)
+            if guest_kind == "base":
+                fires += count
+                continue
+            host_triggers = sum(
+                c if kind == "base" else (1 if kind == "huge" else 0)
+                for _, _, c, kind in host_spans
+            )
+            fires += host_triggers
+            if guest_kind == "huge" and host_spans[0][3] == "mapped":
+                # The span's first page triggered the guest huge fault but
+                # no host fault; it still notifies exactly once.
+                fires += 1
+        hook = self.fault_hook
+        if hook is not None:
+            for _ in range(fires):
+                hook(vm)
+        return npages
 
     # ------------------------------------------------------------------
     # Introspection

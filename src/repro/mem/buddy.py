@@ -24,15 +24,159 @@ Addresses are base-page frame numbers (see :mod:`repro.mem.layout`).
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_left, bisect_right, insort
 from typing import Iterator
 
-from repro.mem.layout import MAX_ORDER
+from repro.mem.layout import HUGE_ORDER, MAX_ORDER
 
 __all__ = ["AllocationError", "BuddyAllocator"]
+
+#: Regions at least this large (one huge page) are tracked in a dedicated
+#: side list: they are the only candidates for huge-aligned placement, and
+#: under fragmentation they are rare while small intervals are plentiful.
+LARGE_REGION_PAGES = 1 << HUGE_ORDER
 
 
 class AllocationError(Exception):
     """Raised when an allocation request cannot be satisfied."""
+
+
+class _RegionIndex:
+    """Incrementally-maintained set of maximal free intervals.
+
+    Mirrors what :meth:`BuddyAllocator.free_regions` used to recompute from
+    the free lists on every call (sort all free blocks, merge adjacent):
+    two parallel sorted arrays of interval starts and ends, updated as
+    blocks enter and leave the free lists.  Gemini's contiguity list walks
+    free regions on every anchor, which made the recompute the single
+    hottest path of a fragmented run.
+    """
+
+    __slots__ = ("_starts", "_ends", "_heap", "_large")
+
+    def __init__(self) -> None:
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+        #: Lazy max-heap of (-size, start) candidates for max_region();
+        #: entries are validated against the arrays on inspection.
+        self._heap: list[tuple[int, int]] = []
+        #: Sorted starts of intervals spanning >= LARGE_REGION_PAGES.
+        self._large: list[int] = []
+
+    def _large_add(self, start: int, size: int) -> None:
+        if size >= LARGE_REGION_PAGES:
+            insort(self._large, start)
+
+    def _large_drop(self, start: int, size: int) -> None:
+        if size >= LARGE_REGION_PAGES:
+            i = bisect_left(self._large, start)
+            del self._large[i]
+
+    def add(self, start: int, end: int) -> None:
+        """Insert free interval [start, end), merging with neighbours."""
+        i = bisect_left(self._starts, start)
+        merge_prev = i > 0 and self._ends[i - 1] == start
+        merge_next = i < len(self._starts) and self._starts[i] == end
+        if merge_prev and merge_next:
+            self._large_drop(self._starts[i - 1], start - self._starts[i - 1])
+            self._large_drop(end, self._ends[i] - end)
+            end = self._ends[i]
+            del self._starts[i]
+            del self._ends[i]
+            self._ends[i - 1] = end
+            start = self._starts[i - 1]
+        elif merge_prev:
+            self._large_drop(self._starts[i - 1], start - self._starts[i - 1])
+            self._ends[i - 1] = end
+            start = self._starts[i - 1]
+        elif merge_next:
+            self._large_drop(end, self._ends[i] - end)
+            self._starts[i] = start
+            end = self._ends[i]
+        else:
+            self._starts.insert(i, start)
+            self._ends.insert(i, end)
+        self._large_add(start, end - start)
+        heapq.heappush(self._heap, (start - end, start))
+
+    def remove(self, start: int, end: int) -> None:
+        """Carve allocated interval [start, end) out of its free interval."""
+        i = bisect_right(self._starts, start) - 1
+        s, e = self._starts[i], self._ends[i]
+        self._large_drop(s, e - s)
+        if s == start and e == end:
+            del self._starts[i]
+            del self._ends[i]
+        elif s == start:
+            self._starts[i] = end
+            self._large_add(end, e - end)
+            heapq.heappush(self._heap, (end - e, end))
+        elif e == end:
+            self._ends[i] = start
+            self._large_add(s, start - s)
+            heapq.heappush(self._heap, (start - s, s))
+        else:
+            self._ends[i] = start
+            self._starts.insert(i + 1, end)
+            self._ends.insert(i + 1, e)
+            self._large_add(s, start - s)
+            self._large_add(end, e - end)
+            heapq.heappush(self._heap, (start - s, s))
+            heapq.heappush(self._heap, (end - e, end))
+
+    def regions(self) -> list[tuple[int, int]]:
+        """Sorted (start, npages) for every maximal free interval."""
+        return [(s, e - s) for s, e in zip(self._starts, self._ends)]
+
+    def large_regions(self) -> list[tuple[int, int]]:
+        """Sorted (start, npages) for intervals >= LARGE_REGION_PAGES."""
+        starts = self._starts
+        ends = self._ends
+        out = []
+        for start in self._large:
+            i = bisect_left(starts, start)
+            out.append((start, ends[i] - start))
+        return out
+
+    def iter_from(self, cursor: int):
+        """Yield (start, npages) for intervals with start >= cursor."""
+        starts = self._starts
+        ends = self._ends
+        for j in range(bisect_left(starts, cursor), len(starts)):
+            yield starts[j], ends[j] - starts[j]
+
+    def iter_below(self, cursor: int):
+        """Yield (start, npages) for intervals with start < cursor."""
+        starts = self._starts
+        ends = self._ends
+        for j in range(bisect_left(starts, cursor)):
+            yield starts[j], ends[j] - starts[j]
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def run_length(self, frame: int, limit: int) -> int:
+        """Length (capped at *limit*) of the free run starting at *frame*."""
+        i = bisect_right(self._starts, frame) - 1
+        if i < 0 or self._ends[i] <= frame:
+            return 0
+        return min(self._ends[i] - frame, limit)
+
+    def max_region(self) -> tuple[int, int] | None:
+        """(start, npages) of the largest interval; ties favour the lowest
+        start (matching ``max(regions, key=size)`` over the sorted list)."""
+        heap = self._heap
+        while heap:
+            neg_size, start = heap[0]
+            i = bisect_left(self._starts, start)
+            if (
+                i < len(self._starts)
+                and self._starts[i] == start
+                and self._ends[i] - start == -neg_size
+            ):
+                return start, -neg_size
+            heapq.heappop(heap)
+        return None
 
 
 class _FreeList:
@@ -89,6 +233,7 @@ class BuddyAllocator:
         self.total_pages = total_pages
         self.free_pages = 0
         self._free: list[_FreeList] = [_FreeList() for _ in range(MAX_ORDER + 1)]
+        self._regions = _RegionIndex()
         self._seed_free_space(base, total_pages)
 
     # ------------------------------------------------------------------
@@ -102,10 +247,12 @@ class BuddyAllocator:
     def _insert(self, start: int, order: int) -> None:
         self._free[order].add(start)
         self.free_pages += 1 << order
+        self._regions.add(start, start + (1 << order))
 
     def _remove(self, start: int, order: int) -> None:
         self._free[order].remove(start)
         self.free_pages -= 1 << order
+        self._regions.remove(start, start + (1 << order))
 
     # ------------------------------------------------------------------
     # Standard allocation interface
@@ -123,6 +270,7 @@ class BuddyAllocator:
             if self._free[source]:
                 start = self._free[source].pop_lowest()
                 self.free_pages -= 1 << source
+                self._regions.remove(start, start + (1 << source))
                 return self._split_to(start, source, order)
         raise AllocationError(f"no free block of order >= {order}")
 
@@ -204,21 +352,13 @@ class BuddyAllocator:
 
     def is_free(self, frame: int) -> bool:
         """True if base frame *frame* currently belongs to a free block."""
-        return self._containing_free_block(frame, 0) is not None
+        return self._regions.run_length(frame, 1) == 1
 
     def range_is_free(self, start: int, npages: int) -> bool:
         """True if every page in ``[start, start + npages)`` is free."""
         if npages <= 0 or not self._within(start, npages):
             return False
-        frame = start
-        end = start + npages
-        while frame < end:
-            container = self._containing_free_block(frame, 0)
-            if container is None:
-                return False
-            cstart, corder = container
-            frame = cstart + (1 << corder)
-        return True
+        return self._regions.run_length(start, npages) >= npages
 
     def free_blocks(self) -> Iterator[tuple[int, int]]:
         """Yield (start, order) for every free block, unsorted."""
@@ -235,17 +375,33 @@ class BuddyAllocator:
 
         Adjacent free blocks that are not buddies (and therefore stay
         separate in the free lists) are merged here; this is the view the
-        Gemini contiguity list is built from.
+        Gemini contiguity list is built from.  Maintained incrementally by
+        the region index, so reading it is O(regions) with no sorting.
         """
-        blocks = sorted((s, 1 << o) for s, o in self.free_blocks())
-        regions: list[tuple[int, int]] = []
-        for start, size in blocks:
-            if regions and regions[-1][0] + regions[-1][1] == start:
-                prev_start, prev_size = regions[-1]
-                regions[-1] = (prev_start, prev_size + size)
-            else:
-                regions.append((start, size))
-        return regions
+        return self._regions.regions()
+
+    def large_free_regions(self) -> list[tuple[int, int]]:
+        """Sorted (start, npages) free regions of at least one huge page."""
+        return self._regions.large_regions()
+
+    def iter_free_regions_from(self, cursor: int):
+        """Iterate (start, npages) free regions with start >= *cursor*."""
+        return self._regions.iter_from(cursor)
+
+    def iter_free_regions_below(self, cursor: int):
+        """Iterate (start, npages) free regions with start < *cursor*."""
+        return self._regions.iter_below(cursor)
+
+    def free_run_length(self, frame: int, limit: int) -> int:
+        """Number of free pages (capped at *limit*) starting at *frame*."""
+        if limit <= 0 or not self._within(frame, 1):
+            return 0
+        return self._regions.run_length(frame, limit)
+
+    def max_free_region(self) -> tuple[int, int] | None:
+        """Largest maximal free region as (start, npages); ties resolve to
+        the lowest start.  None when no memory is free."""
+        return self._regions.max_region()
 
     def largest_free_order(self) -> int:
         """Largest order with a free block, or -1 if memory is exhausted."""

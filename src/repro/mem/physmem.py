@@ -96,11 +96,52 @@ class PhysicalMemory:
             return False
 
     def free_regions(self) -> list[tuple[int, int]]:
-        """Merged free regions across all nodes, sorted by start frame."""
+        """Merged free regions across all nodes, sorted by start frame.
+
+        Regions never merge across node boundaries, matching the per-node
+        buddy view (node address ranges are disjoint and ascending, so
+        concatenation preserves the sort order).
+        """
         regions: list[tuple[int, int]] = []
         for allocator in self.nodes:
             regions.extend(allocator.free_regions())
-        return sorted(regions)
+        return regions
+
+    def large_free_regions(self) -> list[tuple[int, int]]:
+        """Free regions of at least one huge page, sorted by start frame."""
+        regions: list[tuple[int, int]] = []
+        for allocator in self.nodes:
+            regions.extend(allocator.large_free_regions())
+        return regions
+
+    def iter_free_regions_split(self, cursor: int):
+        """Iterate free regions with start >= *cursor* first (ascending),
+        then those below (ascending) — the next-fit rotation order.  Node
+        address ranges ascend, so per-node chaining keeps each half sorted."""
+        for allocator in self.nodes:
+            yield from allocator.iter_free_regions_from(cursor)
+        for allocator in self.nodes:
+            yield from allocator.iter_free_regions_below(cursor)
+
+    def free_run_length(self, frame: int, limit: int) -> int:
+        """Free pages (capped at *limit*) starting at *frame* within its
+        node; runs never extend across node boundaries."""
+        try:
+            return self.node_of(frame).free_run_length(frame, limit)
+        except ValueError:
+            return 0
+
+    def max_free_region(self) -> tuple[int, int] | None:
+        """Largest free region over all nodes; ties resolve to the lowest
+        start frame."""
+        best: tuple[int, int] | None = None
+        for allocator in self.nodes:
+            candidate = allocator.max_free_region()
+            if candidate is None:
+                continue
+            if best is None or candidate[1] > best[1]:
+                best = candidate
+        return best
 
     def free_blocks(self) -> Iterator[tuple[int, int]]:
         for allocator in self.nodes:

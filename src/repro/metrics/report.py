@@ -19,6 +19,7 @@ __all__ = [
     "write_csv",
     "matrix_to_markdown",
     "series_to_csv",
+    "format_cache_stats",
 ]
 
 #: RunResult properties exported by default.
@@ -89,6 +90,18 @@ def matrix_to_markdown(
     cells = " | ".join(fmt.format(means[s]) for s in systems)
     lines.append(f"| **average** | {cells} |")
     return "\n".join(lines)
+
+
+def format_cache_stats(stats) -> str:
+    """One-line summary of a result cache's hit/miss accounting.
+
+    *stats* is a :class:`repro.exec.CacheStats` (duck-typed so reports can
+    be rendered without importing the executor).
+    """
+    return (
+        f"result cache: {stats.hits} hits / {stats.misses} misses "
+        f"({stats.hit_rate:.0%} hit rate), {stats.stores} results stored"
+    )
 
 
 def series_to_csv(result: RunResult) -> str:

@@ -177,6 +177,130 @@ class MemoryLayer:
         self.ledger.charge("base_fault", costs.BASE_FAULT_CYCLES)
         return frame
 
+    def fault_range(
+        self,
+        client: int,
+        start: int,
+        npages: int,
+        full_region_of: Callable[[int], bool] | None = None,
+    ) -> list[tuple[int, int, int, str]]:
+        """Batched :meth:`fault` over ``[start, start + npages)``.
+
+        Produces the exact same mappings, allocator state and ledger totals
+        as *npages* successive ``fault`` calls, but in O(spans) Python-level
+        work instead of O(pages).  *full_region_of* maps a virtual region to
+        the ``full_region`` flag a per-page fault would have received
+        (defaults to True everywhere, matching the host layer).
+
+        Returns ascending spans ``(vpn, pfn, count, kind)`` covering every
+        page of the range.  *kind* tells the caller which pages would have
+        *triggered* a per-page fault (and hence a fault notification):
+
+        * ``"mapped"`` — pre-existing mappings, no page triggers;
+        * ``"base"`` — demand base faults, every page triggers;
+        * ``"huge"`` — one huge fault: only the span's first page triggers
+          (per-page faulting would find the rest already mapped).  Huge
+          spans are never merged so each one is exactly one trigger.
+        """
+        table = self.table(client)
+        end = start + npages
+        spans: list[tuple[int, int, int, str]] = []
+
+        def emit(vpn: int, pfn: int, count: int, kind: str) -> None:
+            if spans and kind != "huge":
+                lvpn, lpfn, lcount, lkind = spans[-1]
+                if (
+                    lkind == kind
+                    and lvpn + lcount == vpn
+                    and lpfn + lcount == pfn
+                ):
+                    spans[-1] = (lvpn, lpfn, lcount + count, kind)
+                    return
+            spans.append((vpn, pfn, count, kind))
+
+        base_faults = 0
+        huge_faults = 0
+        pos = start
+        while pos < end:
+            pfn = table.translate(pos)
+            if pfn is not None:
+                emit(pos, pfn, 1, "mapped")
+                pos += 1
+                continue
+            vregion = pos // PAGES_PER_HUGE
+            region_end = min(end, (vregion + 1) * PAGES_PER_HUGE)
+            # The huge-fault gate can only open on the first fault of a
+            # region: every later page of the segment sees a non-zero
+            # population, exactly as the per-page path would.
+            full = True if full_region_of is None else full_region_of(vregion)
+            if (
+                full
+                and table.region_population(vregion) == 0
+                and self.policy.wants_huge_fault(client, vregion)
+            ):
+                pregion = self.policy.alloc_huge_region(client, vregion)
+                if pregion is not None:
+                    table.map_huge(vregion, pregion)
+                    self._rmap_huge[pregion] = (client, vregion)
+                    huge_faults += 1
+                    first = pregion * PAGES_PER_HUGE + (
+                        pos - vregion * PAGES_PER_HUGE
+                    )
+                    emit(pos, first, region_end - pos, "huge")
+                    pos = region_end
+                    continue
+            while pos < region_end:
+                pfn = table.translate(pos)
+                if pfn is not None:
+                    emit(pos, pfn, 1, "mapped")
+                    pos += 1
+                    continue
+                run_end = pos + 1
+                while run_end < region_end and table.translate(run_end) is None:
+                    run_end += 1
+                while pos < run_end:
+                    batch = self.policy.choose_base_frames(
+                        client, pos, run_end - pos
+                    )
+                    if batch is None:
+                        frame = self.policy.choose_base_frame(client, pos)
+                        if frame is None:
+                            frame = self.alloc_base_frame()
+                        table.map_base(pos, frame)
+                        self._rmap_base[frame] = (client, pos)
+                        base_faults += 1
+                        emit(pos, frame, 1, "base")
+                        pos += 1
+                        continue
+                    frame, count = batch
+                    if frame is None:
+                        for _ in range(count):
+                            frame = self.alloc_base_frame()
+                            table.map_base(pos, frame)
+                            self._rmap_base[frame] = (client, pos)
+                            emit(pos, frame, 1, "base")
+                            pos += 1
+                    else:
+                        for i in range(count):
+                            table.map_base(pos + i, frame + i)
+                            self._rmap_base[frame + i] = (client, pos + i)
+                        emit(pos, frame, count, "base")
+                        pos += count
+                    base_faults += count
+        if huge_faults:
+            self.ledger.charge(
+                "huge_fault",
+                costs.HUGE_FAULT_CYCLES * huge_faults,
+                count=huge_faults,
+            )
+        if base_faults:
+            self.ledger.charge(
+                "base_fault",
+                costs.BASE_FAULT_CYCLES * base_faults,
+                count=base_faults,
+            )
+        return spans
+
     def alloc_base_frame(self, node: int | None = None) -> int:
         """Allocate one frame, invoking policy reclaim under pressure."""
         try:

@@ -77,6 +77,33 @@ class HugePagePolicy:
         """
         return None
 
+    def choose_base_frames(
+        self, client: int, vpn: int, max_pages: int
+    ) -> tuple[int | None, int] | None:
+        """Batched :meth:`choose_base_frame` for the unmapped, same-region
+        run ``[vpn, vpn + max_pages)``.
+
+        Must reproduce exactly what ``max_pages`` successive
+        ``choose_base_frame`` calls would decide, including side effects:
+
+        * ``(frame, count)`` — the serial path would have returned
+          ``frame + i`` for page ``vpn + i`` for the first *count* pages,
+          and those frames are now claimed;
+        * ``(None, count)`` — the serial path would have returned None for
+          the first *count* pages, with no placement side effects (the
+          caller default-allocates them);
+        * ``None`` — no batched equivalent is available: the caller must
+          fall back to one single-page ``choose_base_frame`` call.
+
+        The default is safe for any subclass: policies that keep the
+        default per-page placement (always None, no side effects) batch
+        trivially; policies that override :meth:`choose_base_frame` must
+        provide their own batched form or run page by page.
+        """
+        if type(self).choose_base_frame is HugePagePolicy.choose_base_frame:
+            return (None, max_pages)
+        return None
+
     # ------------------------------------------------------------------
     # Background daemon
     # ------------------------------------------------------------------

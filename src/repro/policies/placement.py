@@ -75,29 +75,45 @@ class ContiguityList:
         span (the caller then covers the tail through sub-VMA re-anchoring).
         Returns None only when no usable free region exists at all.
         """
-        regions = self._usable_regions(huge_aligned)
-        if not regions:
+        if huge_aligned:
+            return self._find_aligned(span)
+        return self._find_unaligned(span)
+
+    def _find_aligned(self, span: int) -> int | None:
+        # Only regions of at least one huge page can survive the alignment
+        # padding, so the allocator's (short) large-region list is the
+        # complete candidate set.
+        usable = []
+        for start, size in self._layer.memory.large_free_regions():
+            aligned = huge_align_up(start)
+            remaining = size - (aligned - start)
+            if remaining >= PAGES_PER_HUGE:
+                usable.append((aligned, remaining))
+        if not usable:
             return None
-        ordered = self._from_cursor(regions)
+        ordered = self._from_cursor(usable)
         for start, size in ordered:
             if size >= span:
                 self._cursor = start
                 return start
-        start, size = max(regions, key=lambda r: r[1])
+        start, size = max(usable, key=lambda r: r[1])
         self._cursor = start
         return start
 
-    def _usable_regions(self, huge_aligned: bool) -> list[tuple[int, int]]:
-        usable = []
-        for start, size in self._layer.memory.free_regions():
-            if huge_aligned:
-                aligned = huge_align_up(start)
-                remaining = size - (aligned - start)
-                if remaining >= PAGES_PER_HUGE:
-                    usable.append((aligned, remaining))
-            else:
-                usable.append((start, size))
-        return usable
+    def _find_unaligned(self, span: int) -> int | None:
+        # Next-fit over every free region, resuming at the cursor; the
+        # allocator iterates its region index directly, so no per-call
+        # region list is materialised.
+        memory = self._layer.memory
+        for start, size in memory.iter_free_regions_split(self._cursor):
+            if size >= span:
+                self._cursor = start
+                return start
+        largest = memory.max_free_region()
+        if largest is None:
+            return None
+        self._cursor = largest[0]
+        return largest[0]
 
     def _from_cursor(self, regions: list[tuple[int, int]]) -> list[tuple[int, int]]:
         after = [r for r in regions if r[0] >= self._cursor]
@@ -175,6 +191,50 @@ class OffsetPlacer:
         if self._claim(target):
             return target
         return None
+
+    def place_run(
+        self, client: int, vpn: int, max_pages: int
+    ) -> tuple[int | None, int]:
+        """Batched :meth:`place` for the unmapped run ``[vpn, vpn + max_pages)``
+        (all pages inside the virtual range enclosing *vpn*).
+
+        Returns ``(frame, count)`` when the serial path would have placed
+        the first *count* pages at ``frame .. frame + count - 1`` (now
+        claimed), or ``(None, count)`` when it would have returned None for
+        the first *count* pages without placement side effects.  Descriptor
+        bookkeeping (misses, truncation, anchoring) is applied exactly as
+        the per-page path would.
+        """
+        bounds = self.range_of(client, vpn)
+        if bounds is None:
+            return (None, 1)
+        vstart, vend = bounds
+        limit = min(max_pages, vend - vpn)
+        if limit <= 0:
+            return (None, 1)
+        if vend - vstart < PAGES_PER_HUGE:
+            # Under the huge-page size: every page of this range takes the
+            # default allocator, with no descriptor side effects.
+            return (None, limit)
+        descriptor = self._lookup(client, vpn)
+        if descriptor is not None:
+            target = vpn - descriptor.offset
+            claimed = self._claim_run(target, min(limit, descriptor.vend - vpn))
+            if claimed:
+                return (target, claimed)
+            descriptor.misses += 1
+            if descriptor.misses <= self.miss_tolerance:
+                return (None, 1)
+            self._truncate(descriptor, vpn)
+            self.sub_vma_splits += 1
+        descriptor = self._anchor(client, vpn, vend)
+        if descriptor is None:
+            return (None, 1)
+        target = vpn - descriptor.offset
+        claimed = self._claim_run(target, min(limit, descriptor.vend - vpn))
+        if claimed:
+            return (target, claimed)
+        return (None, 1)
 
     # ------------------------------------------------------------------
     # Descriptor management (self-organizing list)
@@ -258,3 +318,31 @@ class OffsetPlacer:
         except (AllocationError, ValueError):
             return False
         return True
+
+    def _claim_run(self, start: int, npages: int) -> int:
+        """Claim the maximal prefix of ``[start, start + npages)``, frame by
+        frame exactly as :meth:`_claim` would; returns the claimed count.
+
+        Buddy-free stretches are claimed in one ``alloc_range`` call, which
+        leaves the free lists in the same (canonical) state as per-frame
+        ``alloc_at`` calls.  The hook-first probe order is preserved: frames
+        claimable through the hook (booked/bucketed regions) are already
+        allocated in the buddy, so the two sources are disjoint.
+        """
+        memory = self.layer.memory
+        total = memory.total_pages
+        hook = self.claim_hook
+        claimed = 0
+        while claimed < npages:
+            frame = start + claimed
+            if frame < 0 or frame >= total:
+                break
+            if hook is not None and hook(frame):
+                claimed += 1
+                continue
+            run = memory.free_run_length(frame, npages - claimed)
+            if run == 0:
+                break
+            memory.alloc_range(frame, run)
+            claimed += run
+        return claimed

@@ -168,6 +168,12 @@ class CAPagingPolicy(CoalescingPolicy):
         assert self._placer is not None
         return self._placer.place(client, vpn)
 
+    def choose_base_frames(
+        self, client: int, vpn: int, max_pages: int
+    ) -> tuple[int | None, int] | None:
+        assert self._placer is not None
+        return self._placer.place_run(client, vpn, max_pages)
+
     def on_unmap(self, client: int, vstart: int, vend: int) -> None:
         if self._placer is not None:
             self._placer.drop_client(client, vstart, vend)

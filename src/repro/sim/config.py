@@ -46,6 +46,11 @@ class SimulationConfig:
     noise_free_fraction: float = 0.5
     #: Random seed (fragmenter, workload churn, noise).
     seed: int = 42
+    #: Serve multi-page touches through the batched fault path.  The batch
+    #: path is bit-identical to per-page faulting (enforced by tests) and
+    #: several times faster; False keeps the per-page reference path for
+    #: equivalence checks.
+    batch_faults: bool = True
     #: Gemini runtime tunables, including the Figure 16 ablation switches
     #: (only used when the system is Gemini).
     gemini: GeminiConfig = field(default_factory=GeminiConfig)

@@ -19,6 +19,8 @@ puts several VMs on the server).  Each epoch:
 
 from __future__ import annotations
 
+import zlib
+
 from repro.core.runtime import GeminiRuntime
 from repro.hypervisor.platform import Platform
 from repro.hypervisor.vm import PROCESS, VM
@@ -62,6 +64,7 @@ class Simulation:
         self.platform = Platform.with_mib(
             self.config.host_mib, self.spec.make_host(), nodes=self.config.nodes
         )
+        self.platform.batch_faults = self.config.batch_faults
         self.tlb_model = TLBModel(self.config.tlb)
         self.noise = NoiseAgent(
             self.platform,
@@ -86,8 +89,9 @@ class Simulation:
             self._vms.append(vm)
             # Differentiate the per-workload RNG stream by name so that
             # same-family workloads (e.g. Redis vs RocksDB) do not replay
-            # identical churn sequences.
-            name_salt = sum(workload.name.encode()) % 997
+            # identical churn sequences.  CRC32 keys on byte order, so
+            # anagram names (unlike a plain byte sum) get distinct salts.
+            name_salt = zlib.crc32(workload.name.encode()) % 997
             self._contexts.append(
                 WorkloadContext(
                     self.platform, vm, seed=self.config.seed + index + name_salt
@@ -298,6 +302,11 @@ class Simulation:
             if ept.is_huge(gpregion):
                 return
             base = gpregion * PAGES_PER_HUGE
+            if self.platform.batch_faults:
+                # Contiguous ascending range, no fault hook on this path:
+                # the batched walk makes the identical per-page decisions.
+                self.platform.host.fault_range(vm.id, base, PAGES_PER_HUGE)
+                return
             for gpn in range(base, base + PAGES_PER_HUGE):
                 if ept.translate(gpn) is None:
                     self.platform.host.fault(vm.id, gpn, full_region=True)

@@ -17,6 +17,7 @@ pattern of mixed allocation streams.
 from __future__ import annotations
 
 import random
+from collections import deque
 from typing import TYPE_CHECKING
 
 from repro.mem.buddy import AllocationError
@@ -61,13 +62,52 @@ class NoiseAgent:
         #: physical layouts mis-aligned "largely by chance" (Section 2.3).
         self._transient: dict[int, list[int]] = {}
         self.transient_hold = 24
+        #: Pre-drawn per-fault gate bits (True = this fault triggers noise),
+        #: in fault order.  :meth:`act_horizon` fills the queue so batched
+        #: fault delivery can prove a noise-free window without perturbing
+        #: the RNG stream; :meth:`on_fault` drains it before drawing fresh.
+        self._pending: deque[bool] = deque()
         self.allocations = 0
 
     def install(self) -> None:
-        self.platform.fault_hook = self.on_fault
+        # The agent itself is the hook (not the bound method) so the
+        # platform can discover ``act_horizon`` on the hook object.
+        self.platform.fault_hook = self
+
+    def __call__(self, vm: "VM") -> None:
+        self.on_fault(vm)
+
+    def act_horizon(self, limit: int) -> int:
+        """How many upcoming fault notifications, up to *limit*, are
+        guaranteed not to trigger noise.
+
+        Gate bits are drawn in fault order and queued; drawing stops at the
+        first acting fault so the noise body's own RNG consumption stays in
+        its per-fault position.  The result is that delivering the next
+        ``act_horizon(n)`` faults as a batch consumes the exact random
+        stream per-fault delivery would.
+        """
+        horizon = 0
+        for acts in self._pending:
+            if acts:
+                return horizon
+            horizon += 1
+            if horizon >= limit:
+                return horizon
+        while horizon < limit:
+            acts = self._rng.random() < self.rate
+            self._pending.append(acts)
+            if acts:
+                return horizon
+            horizon += 1
+        return horizon
 
     def on_fault(self, vm: "VM") -> None:
-        if self._rng.random() >= self.rate:
+        if self._pending:
+            acts = self._pending.popleft()
+        else:
+            acts = self._rng.random() < self.rate
+        if not acts:
             return
         self.allocations += 1
         self._noise_alloc(vm.gpa_space, self._guest_held.setdefault(vm.id, []))

@@ -119,3 +119,148 @@ def test_free_regions_match_pinned_holes(pins):
     # Regions are sorted and maximal (separated by at least one pin).
     for (s1, n1), (s2, _) in zip(regions, regions[1:]):
         assert s1 + n1 < s2
+
+
+def canonical_blocks(buddy):
+    """The free-block decomposition, as a sorted list of (start, order)."""
+    return sorted(buddy.free_blocks())
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    start=st.integers(min_value=0, max_value=TOTAL - 1),
+    npages=st.integers(min_value=1, max_value=256),
+)
+def test_alloc_range_equals_per_frame_alloc_at(start, npages):
+    """alloc_range must leave the exact free-block decomposition that
+    claiming the same frames one at a time with alloc_at leaves: eager
+    buddy merging makes the decomposition a pure function of the free set."""
+    if start + npages > TOTAL:
+        npages = TOTAL - start
+    batched = BuddyAllocator(TOTAL)
+    batched.alloc_range(start, npages)
+    stepped = BuddyAllocator(TOTAL)
+    for frame in range(start, start + npages):
+        stepped.alloc_at(frame, 0)
+    assert canonical_blocks(batched) == canonical_blocks(stepped)
+    assert batched.free_pages == stepped.free_pages == TOTAL - npages
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ranges=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=TOTAL - 1),
+            st.integers(min_value=1, max_value=128),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_free_range_merge_restores_canonical_decomposition(ranges):
+    """Freeing everything that was claimed — in any order, range by range —
+    must merge buddies all the way back to the initial decomposition."""
+    buddy = BuddyAllocator(TOTAL)
+    initial = canonical_blocks(buddy)
+    claimed = []
+    owned = set()
+    for start, npages in ranges:
+        npages = min(npages, TOTAL - start)
+        if owned & set(range(start, start + npages)):
+            continue
+        try:
+            buddy.alloc_range(start, npages)
+        except AllocationError:
+            continue
+        claimed.append((start, npages))
+        owned |= set(range(start, start + npages))
+    for start, npages in reversed(claimed):
+        buddy.free_range(start, npages)
+    assert buddy.free_pages == TOTAL
+    assert canonical_blocks(buddy) == initial
+    free_space_invariants(buddy)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pins=st.lists(
+        st.integers(min_value=0, max_value=TOTAL - 1),
+        min_size=0,
+        max_size=24,
+        unique=True,
+    ),
+    allocs=st.integers(min_value=1, max_value=16),
+)
+def test_alloc_order0_is_lowest_address_within_best_order(pins, allocs):
+    """Order-0 allocation is deterministic: it serves the lowest-address
+    block of the smallest free order (best fit, then address order)."""
+    buddy = BuddyAllocator(TOTAL)
+    for pin in pins:
+        buddy.alloc_at(pin, 0)
+    for _ in range(allocs):
+        blocks = sorted(buddy.free_blocks())
+        if not blocks:
+            break
+        best_order = min(order for _, order in blocks)
+        expected = min(start for start, order in blocks if order == best_order)
+        assert buddy.alloc(0) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.booleans(),
+            st.integers(min_value=0, max_value=TOTAL - 1),
+            st.integers(min_value=1, max_value=96),
+        ),
+        min_size=1,
+        max_size=24,
+    )
+)
+def test_region_index_consistent_with_free_blocks(ops):
+    """The incremental region index (free_regions, large regions, run
+    lengths, max region) must agree with a view recomputed from the raw
+    free-block list after arbitrary range traffic."""
+    from repro.mem.buddy import LARGE_REGION_PAGES
+
+    buddy = BuddyAllocator(TOTAL)
+    owned = set()
+    for is_alloc, start, npages in ops:
+        npages = min(npages, TOTAL - start)
+        span = set(range(start, start + npages))
+        if is_alloc:
+            if span & owned:
+                continue
+            try:
+                buddy.alloc_range(start, npages)
+            except AllocationError:
+                continue
+            owned |= span
+        else:
+            if not span or not span <= owned:
+                continue
+            buddy.free_range(start, npages)
+            owned -= span
+
+    # Recompute merged free regions from the ground-truth free set.
+    free = sorted(set(range(TOTAL)) - owned)
+    expected = []
+    for frame in free:
+        if expected and expected[-1][0] + expected[-1][1] == frame:
+            expected[-1] = (expected[-1][0], expected[-1][1] + 1)
+        else:
+            expected.append((frame, 1))
+
+    assert buddy.free_regions() == expected
+    assert buddy.large_free_regions() == [
+        r for r in expected if r[1] >= LARGE_REGION_PAGES
+    ]
+    expected_max = max(expected, key=lambda r: r[1], default=None)
+    assert buddy.max_free_region() == expected_max
+    for rstart, rpages in expected[:8]:
+        assert buddy.free_run_length(rstart, TOTAL) == rpages
+        mid = rstart + rpages // 2
+        assert buddy.free_run_length(mid, TOTAL) == rpages - rpages // 2
+    for frame in list(owned)[:8]:
+        assert buddy.free_run_length(frame, TOTAL) == 0

@@ -137,3 +137,16 @@ def test_alignment_report_consistency():
     last = result.epochs[-1].alignment
     assert last.guest_huge > 0
     assert last.aligned_guest == last.guest_huge
+
+
+def test_anagram_workload_names_get_distinct_rng_streams():
+    """The per-workload RNG salt must key on byte order, not a byte sum:
+    anagram names (same bytes, different order) need different churn."""
+
+    def context_stream(name):
+        workload = make_workload("Redis")
+        workload.name = name
+        sim = Simulation(workload, system="Host-B-VM-B", config=FAST)
+        return [sim._contexts[0].rng.random() for _ in range(8)]
+
+    assert context_stream("listen") != context_stream("silent")

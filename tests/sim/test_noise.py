@@ -77,3 +77,57 @@ def test_noise_is_deterministic():
         platform.touch_vma(vm, vma)
         counts.append(noise.allocations)
     assert counts[0] == counts[1]
+
+
+def test_act_horizon_predraw_matches_fresh_stream():
+    """Pre-drawing gates through act_horizon then delivering faults must
+    consume the exact RNG stream of undisturbed per-fault delivery."""
+    platform_a, vm_a = make_platform()
+    reference = NoiseAgent(platform_a, rate=0.2, seed=9)
+    reference.install()
+    platform_b, vm_b = make_platform()
+    predrawn = NoiseAgent(platform_b, rate=0.2, seed=9)
+    predrawn.install()
+
+    horizon = predrawn.act_horizon(64)
+    assert 0 <= horizon <= 64
+    for _ in range(200):
+        reference.on_fault(vm_a)
+        predrawn.on_fault(vm_b)
+    assert predrawn.allocations == reference.allocations
+    assert predrawn.held_pages == reference.held_pages
+    assert predrawn._rng.random() == reference._rng.random()
+
+
+def test_act_horizon_counts_quiet_faults():
+    """The returned horizon is exactly the number of leading faults that
+    do not act; the next fault after the horizon acts (unless capped)."""
+    platform, vm = make_platform()
+    noise = NoiseAgent(platform, rate=0.3, seed=3)
+    noise.install()
+    horizon = noise.act_horizon(1 << 30)
+    for index in range(horizon):
+        before = noise.allocations
+        noise.on_fault(vm)
+        assert noise.allocations == before, f"fault {index} acted early"
+    noise.on_fault(vm)
+    assert noise.allocations == 1
+
+
+def test_act_horizon_respects_limit():
+    platform, _vm = make_platform()
+    noise = NoiseAgent(platform, rate=0.0, seed=5)
+    assert noise.act_horizon(7) == 7
+    # rate 0 never acts: a second call keeps extending the quiet window.
+    assert noise.act_horizon(12) == 12
+
+
+def test_platform_hook_exposes_act_horizon():
+    """install() publishes the agent itself, so the batched fault path can
+    discover the horizon protocol on platform.fault_hook."""
+    platform, vm = make_platform()
+    noise = NoiseAgent(platform, rate=0.1, seed=2)
+    noise.install()
+    assert platform.fault_hook is noise
+    assert callable(getattr(platform.fault_hook, "act_horizon"))
+    platform.fault_hook(vm)  # __call__ delegates to on_fault
