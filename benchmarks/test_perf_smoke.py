@@ -11,14 +11,21 @@ the bench trajectory is populated from run to run:
   the recorded pre-optimisation baseline of the same cell (per-page
   faulting with linear free-list scans, measured before the region index
   and batch path landed).
+* **Scan-heavy cell** — a long (many-epoch, low-churn) fragmented
+  SVM/Gemini run whose epochs re-touch a large mapped footprint and
+  re-derive per-epoch translation state, the profile workload for the
+  incremental translation-state index.  Run with the index
+  (``incremental_index=True``) and with the reference rescan path.
 * **Matrix** — a 6-cell workload x system matrix, serial and cold versus
   4 workers with a warm result cache, the configuration experiment
-  sweeps actually run in.
+  sweeps actually run in.  Small batches must not regress against serial
+  (the pool falls back to serial below ``MIN_PARALLEL_CELLS``).
 
 The assertions are deliberately machine-independent where possible
-(batched must not lose to per-page; a warm cache must be >= 3x) and use
-the recorded baseline only where the win is large enough (>= 6x here) to
-absorb slow CI hardware.
+(batched must not lose to per-page; the index must be >= 2x on the
+scan-heavy cell; a warm cache must be >= 3x) and use the recorded
+baseline only where the win is large enough (>= 6x here) to absorb slow
+CI hardware.
 """
 
 from __future__ import annotations
@@ -44,6 +51,12 @@ SINGLE = SimulationConfig(epochs=8, fragment_guest=0.8, fragment_host=0.8)
 #: region index landed (per-page touch + linear free-region scans).
 PRE_OPT_SINGLE_CELL_SECONDS = 1.98
 
+#: Scan-heavy: a static-array workload whose epochs re-touch the whole
+#: mapped footprint, run long enough that per-epoch scan work dominates
+#: the one-time setup faults.  This is where the incremental index pays:
+#: the reference path re-walks both page tables every epoch.
+SCAN_HEAVY = SimulationConfig(epochs=144, fragment_guest=0.8, fragment_host=0.8)
+
 MATRIX_CONFIG = SimulationConfig(epochs=6, fragment_guest=0.8, fragment_host=0.8)
 MATRIX_WORKLOADS = ["Redis", "SVM"]
 MATRIX_SYSTEMS = ["Host-B-VM-B", "THP", "Gemini"]
@@ -68,13 +81,29 @@ def test_perf_smoke(tmp_path):
     )
     assert batched == per_page, "batched fault path diverged from per-page"
 
+    # --- scan-heavy cell: incremental index vs reference rescans ---------
+    indexed, indexed_s = _timed(
+        lambda: run_workload(make_workload("SVM"), "Gemini", config=SCAN_HEAVY)
+    )
+    rescan, rescan_s = _timed(
+        lambda: run_workload(
+            make_workload("SVM"), "Gemini",
+            config=replace(SCAN_HEAVY, incremental_index=False),
+        )
+    )
+    assert indexed == rescan, "incremental index diverged from reference"
+
     # --- matrix: serial cold vs 4 workers + warm cache -------------------
     cells = [
         Cell(w, s, MATRIX_CONFIG)
         for w in MATRIX_WORKLOADS
         for s in MATRIX_SYSTEMS
     ]
-    serial, serial_s = _timed(lambda: run_cells(cells, workers=1, cache=None))
+    # Both cold legs write a fresh cache, so serial vs parallel isolates
+    # the executor (pool startup vs serial fallback), not cache stores.
+    serial, serial_s = _timed(
+        lambda: run_cells(cells, workers=1, cache=ResultCache(tmp_path / "serial"))
+    )
 
     cache_dir = tmp_path / "cache"
     _, cold_s = _timed(
@@ -98,6 +127,14 @@ def test_perf_smoke(tmp_path):
             "pre_opt_baseline_seconds": PRE_OPT_SINGLE_CELL_SECONDS,
             "speedup_vs_pre_opt_baseline": round(single_speedup, 2),
         },
+        "scan_heavy_cell": {
+            "workload": "SVM",
+            "system": "Gemini",
+            "epochs": SCAN_HEAVY.epochs,
+            "indexed_seconds": round(indexed_s, 4),
+            "rescan_seconds": round(rescan_s, 4),
+            "speedup_vs_rescan": round(rescan_s / indexed_s, 2),
+        },
         "matrix": {
             "cells": len(cells),
             "workloads": MATRIX_WORKLOADS,
@@ -119,6 +156,12 @@ def test_perf_smoke(tmp_path):
     # >= 2x single-cell win over the recorded pre-optimisation baseline
     # (measured ~6.6x on the profiling box; slack for slower CI runners).
     assert single_speedup >= 2.0
+    # >= 2x on the scan-heavy cell: the index replaces per-epoch rescans
+    # and re-touch translate work (measured ~2.9x on the profiling box).
+    assert rescan_s / indexed_s >= 2.0
+    # A 6-cell batch is below MIN_PARALLEL_CELLS, so the cold "parallel"
+    # run must take the serial path instead of paying ~1 s pool startup.
+    assert cold_s <= serial_s * 1.25
     # >= 3x matrix win with 4 workers and a warm cache: serving six
     # simulations from the cache is milliseconds against seconds.
     assert matrix_speedup >= 3.0

@@ -12,6 +12,10 @@ Commands
     fig02, fig03, clean-slate (figs 8-11 + table 3), reused-vm (figs 12-15
     + table 4), fig16, collocation (figs 17-18), ablations, validation,
     sweeps, interplay.
+
+``run`` and ``experiment`` accept ``--profile [N]`` (or the
+``REPRO_PROFILE`` environment variable) to wrap the command in
+:mod:`cProfile` and print the top N functions by cumulative time.
 """
 
 from __future__ import annotations
@@ -95,6 +99,12 @@ def _add_exec_args(command: argparse.ArgumentParser) -> None:
     command.add_argument(
         "--cache-dir", default=None,
         help="result cache directory (default: $REPRO_CACHE_DIR or no cache)",
+    )
+    command.add_argument(
+        "--profile", nargs="?", const=25, default=None, type=int,
+        metavar="N",
+        help="profile the command with cProfile and print the top N "
+        "cumulative hotspots (default N: 25; also $REPRO_PROFILE)",
     )
 
 
@@ -223,16 +233,50 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    _apply_exec_args(args)
+def _profile_top(args: argparse.Namespace) -> int | None:
+    """Hotspot count for --profile / $REPRO_PROFILE, or None (no profiling)."""
+    import os
+
+    top = getattr(args, "profile", None)
+    if top is not None:
+        return top
+    raw = os.environ.get("REPRO_PROFILE", "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return 25
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     return 1  # pragma: no cover - argparse enforces the choices
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    _apply_exec_args(args)
+    top = _profile_top(args)
+    if top is None:
+        return _dispatch(args)
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        status = _dispatch(args)
+    finally:
+        profiler.disable()
+        print()
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(top)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

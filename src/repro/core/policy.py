@@ -197,10 +197,10 @@ class GeminiGuestPolicy(CoalescingPolicy):
         target = self._majority_region(client, vregion)
         if target is None:
             table = self.layer.table(client)
-            mappings = table.region_mappings(vregion)
+            mappings = table.region_items(vregion)
             if not mappings:
                 return False
-            regions = {pfn // PAGES_PER_HUGE for pfn in mappings.values()}
+            regions = {pfn // PAGES_PER_HUGE for _, pfn in mappings}
             return any(probe(pregion) for pregion in regions)
         return probe(target)
 
@@ -249,11 +249,35 @@ class GeminiGuestPolicy(CoalescingPolicy):
         already occupy at consistent offsets, if a clear majority exists."""
         assert self.layer is not None
         table = self.layer.table(client)
+        vbase = vregion * PAGES_PER_HUGE
+        deltas = table.region_deltas(vregion)
+        if deltas is not None:
+            # Delta-summary fast path: pbase = pfn - (vpn - vbase) =
+            # vbase + delta, so each distinct huge-aligned delta is one
+            # candidate region and its count is the page count.  A tied
+            # maximum falls back to the scan below — the reference
+            # tie-break is dict insertion order, which the summary cannot
+            # reproduce; a unique maximum is order-independent.
+            if not deltas:
+                return None
+            total = 0
+            counts: dict[int, int] = {}
+            for delta, count in deltas.items():
+                total += count
+                if delta % PAGES_PER_HUGE == 0 and delta >= -vbase:
+                    counts[(vbase + delta) // PAGES_PER_HUGE] = count
+            if not counts:
+                return None
+            best_count = max(counts.values())
+            tied = [r for r, c in counts.items() if c == best_count]
+            if len(tied) == 1:
+                if best_count < total - self.miss_fix_limit:
+                    return None
+                return tied[0]
         mappings = table.region_mappings(vregion)
         if not mappings:
             return None
-        vbase = vregion * PAGES_PER_HUGE
-        counts: dict[int, int] = {}
+        counts = {}
         for vpn, pfn in mappings.items():
             pbase = pfn - (vpn - vbase)
             if pbase >= 0 and is_huge_aligned(pbase):
@@ -275,6 +299,20 @@ class GeminiGuestPolicy(CoalescingPolicy):
         if self._fmfi > self.prealloc_fmfi:
             return False
         table = self.layer.table(client)
+        deltas = table.region_deltas(vregion)
+        if deltas is not None:
+            # O(1) rejection from the delta summary: the reference path
+            # below rejects (with no side effects) any region that is not
+            # all-at-one-huge-aligned-offset, i.e. anything but a single
+            # aligned non-negative delta of plausible population.  Only
+            # plausible regions pay for the O(region) completion attempt.
+            if len(deltas) != 1:
+                return False
+            ((delta, count),) = deltas.items()
+            if count < self.prealloc_threshold or count >= PAGES_PER_HUGE:
+                return False
+            if delta % PAGES_PER_HUGE != 0 or delta < -(vregion * PAGES_PER_HUGE):
+                return False
         mappings = table.region_mappings(vregion)
         population = len(mappings)
         if population < self.prealloc_threshold or population >= PAGES_PER_HUGE:

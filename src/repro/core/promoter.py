@@ -116,6 +116,22 @@ class GuestPromoter:
 
     def _dominant_owner(self, layer: MemoryLayer, gpregion: int) -> int | None:
         """The guest virtual region owning the most frames of *gpregion*."""
+        buckets = layer.region_owner_counts(gpregion)
+        if buckets is not None:
+            # Owner-count fast path: same per-vregion totals as the
+            # 512-probe scan below.  A tied maximum falls back to the scan
+            # — the reference tie-break is first-seen frame order, which
+            # the counts cannot reproduce; a unique maximum is
+            # order-independent.
+            if not buckets:
+                return None
+            summed: dict[int, int] = {}
+            for (_, vregion), count in buckets.items():
+                summed[vregion] = summed.get(vregion, 0) + count
+            best_count = max(summed.values())
+            tied = [v for v, c in summed.items() if c == best_count]
+            if len(tied) == 1:
+                return tied[0]
         counts: dict[int, int] = {}
         start = gpregion * PAGES_PER_HUGE
         for frame in range(start, start + PAGES_PER_HUGE):
@@ -181,7 +197,7 @@ class GuestPromoter:
     def _preallocate(self, layer: MemoryLayer, vregion: int, gpregion: int) -> bool:
         """Install the missing tail pages at their aligned frames."""
         table = layer.table(PROCESS)
-        mapped = set(table.region_mappings(vregion))
+        mapped = {vpn for vpn, _ in table.region_items(vregion)}
         vbase = vregion * PAGES_PER_HUGE
         pbase = gpregion * PAGES_PER_HUGE
         missing = [vbase + i for i in range(PAGES_PER_HUGE) if vbase + i not in mapped]

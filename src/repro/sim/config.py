@@ -51,6 +51,12 @@ class SimulationConfig:
     #: several times faster; False keeps the per-page reference path for
     #: equivalence checks.
     batch_faults: bool = True
+    #: Maintain the incremental translation-state index (per-region
+    #: summaries, live alignment counters, classification caches) so
+    #: per-epoch work is O(changed regions) instead of O(all regions).
+    #: Bit-identical to the reference enumerate-everything path (enforced
+    #: by tests); False keeps the reference path for equivalence checks.
+    incremental_index: bool = True
     #: Gemini runtime tunables, including the Figure 16 ablation switches
     #: (only used when the system is Gemini).
     gemini: GeminiConfig = field(default_factory=GeminiConfig)

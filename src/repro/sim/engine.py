@@ -65,6 +65,9 @@ class Simulation:
             self.config.host_mib, self.spec.make_host(), nodes=self.config.nodes
         )
         self.platform.batch_faults = self.config.batch_faults
+        # Must be set before the VMs are created below: the index attaches
+        # its table watchers in create_vm.
+        self.platform.use_index = self.config.incremental_index
         self.tlb_model = TLBModel(self.config.tlb)
         self.noise = NoiseAgent(
             self.platform,
@@ -199,9 +202,13 @@ class Simulation:
                 sync_mm_cycles=sync_mm,
                 background_cycles=background,
             )
-            report = alignment_report(
-                vm.guest.table(PROCESS), self.platform.ept(vm.id)
-            )
+            vm_index = self.platform.index_of(vm.id)
+            if vm_index is not None:
+                report = vm_index.report()
+            else:
+                report = alignment_report(
+                    vm.guest.table(PROCESS), self.platform.ept(vm.id)
+                )
             guest_fmfi = fmfi(vm.gpa_space)
             results[index].epochs.append(
                 EpochRecord(
@@ -258,6 +265,7 @@ class Simulation:
         segments: list[TranslationSegment] = []
         guest_table = vm.guest.table(PROCESS)
         ept = self.platform.ept(vm.id)
+        vm_index = self.platform.index_of(vm.id)
         total_accesses = workload.accesses_per_epoch
         for phase in workload.access_phases(epoch):
             if phase.vma not in vm.address_space:
@@ -270,8 +278,17 @@ class Simulation:
             pages: dict = {}
             walk: dict = {}
             for vregion in range(first_region, last_region + 1):
-                self._backfill_host(vm, guest_table, ept, vregion)
-                for cls in classify_region(guest_table, ept, vregion):
+                # A valid cached classification implies every guest-physical
+                # page the region depends on is still EPT-translated (any
+                # removal invalidates the cache), so _backfill_host would be
+                # a pure no-op — skip both on a hit.
+                classes = None if vm_index is None else vm_index.cached_classes(vregion)
+                if classes is None:
+                    self._backfill_host(vm, guest_table, ept, vregion)
+                    classes = classify_region(guest_table, ept, vregion)
+                    if vm_index is not None:
+                        vm_index.store_classes(vregion, classes)
+                for cls in classes:
                     entries[cls.kind] = entries.get(cls.kind, 0) + cls.entries
                     pages[cls.kind] = pages.get(cls.kind, 0) + cls.pages
                     walk[cls.kind] = cls.walk_cycles
@@ -311,7 +328,7 @@ class Simulation:
                 if ept.translate(gpn) is None:
                     self.platform.host.fault(vm.id, gpn, full_region=True)
             return
-        for gpn in guest_table.region_mappings(vregion).values():
+        for _, gpn in guest_table.region_items(vregion):
             if ept.translate(gpn) is None:
                 self.platform.host.fault(vm.id, gpn, full_region=True)
 

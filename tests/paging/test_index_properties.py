@@ -1,0 +1,237 @@
+"""Property-based tests for the incremental translation-state index.
+
+Every incrementally-maintained summary must stay equal to a recompute from
+scratch after arbitrary sequences of map/unmap/promote/demote/remap events
+on both tables:
+
+* the page table's per-region placement-delta multiset, and the O(1)
+  ``promotable`` answer it backs;
+* the :class:`VMTranslationIndex` alignment counters, live-region set,
+  classification cache and fully-translated set;
+* the :class:`MemoryLayer` per-region owner counts.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.layout import PAGES_PER_HUGE
+from repro.mem.physmem import PhysicalMemory
+from repro.metrics.alignment import alignment_report, classify_region
+from repro.os.mm import OutOfMemory, PROCESS, MemoryLayer
+from repro.paging.index import VMTranslationIndex
+from repro.paging.pagetable import MappingError, PageTable
+from repro.policies.base import HugePagePolicy
+
+V_REGIONS = 6    # guest-virtual regions exercised
+GP_REGIONS = 6   # guest-physical regions exercised
+HP_REGIONS = 6   # host-physical regions exercised
+
+
+def reference_promotable(table: PageTable, vregion: int) -> int | None:
+    """The reference scan, via the table's own non-index code path."""
+    saved = table.use_index
+    table.use_index = False
+    try:
+        return table.promotable(vregion)
+    finally:
+        table.use_index = saved
+
+
+def reference_deltas(table: PageTable) -> dict[int, dict[int, int]]:
+    expected: dict[int, dict[int, int]] = {}
+    for region, bucket in table._region_base.items():
+        deltas: dict[int, int] = {}
+        for vpn, pfn in bucket.items():
+            deltas[pfn - vpn] = deltas.get(pfn - vpn, 0) + 1
+        expected[region] = deltas
+    return expected
+
+
+def reference_live_set(guest: PageTable) -> set[int]:
+    live = {gpregion for _, gpregion in guest.huge_mappings()}
+    for _, gpn in guest.base_mappings():
+        live.add(gpn // PAGES_PER_HUGE)
+    return live
+
+
+def reference_translated(guest: PageTable, ept: PageTable, vregion: int) -> bool:
+    start = vregion * PAGES_PER_HUGE
+    for vpn in range(start, start + PAGES_PER_HUGE):
+        gpn = guest.translate(vpn)
+        if gpn is None or ept.translate(gpn) is None:
+            return False
+    return True
+
+
+def check_index(guest: PageTable, ept: PageTable, index: VMTranslationIndex) -> None:
+    assert guest._region_delta == reference_deltas(guest)
+    assert ept._region_delta == reference_deltas(ept)
+    for vregion in range(V_REGIONS):
+        assert guest.promotable(vregion) == reference_promotable(guest, vregion)
+    for gpregion in range(GP_REGIONS):
+        assert ept.promotable(gpregion) == reference_promotable(ept, gpregion)
+    assert index.report() == alignment_report(guest, ept)
+    assert index.live_set() == reference_live_set(guest)
+    # Surviving cache entries must still describe the current tables.
+    for vregion, cached in index._classes.items():
+        assert cached == classify_region(guest, ept, vregion)
+    for vregion in index._translated:
+        assert reference_translated(guest, ept, vregion)
+
+
+#: One event: (layer, kind, region, offset/target, aux target).
+EVENTS = st.lists(
+    st.tuples(
+        st.sampled_from(["guest", "ept"]),
+        st.sampled_from(
+            [
+                "map_base", "unmap_base", "map_huge", "unmap_huge",
+                "promote", "demote", "remap", "fill_region",
+                "query_translated", "query_classes",
+            ]
+        ),
+        st.integers(min_value=0, max_value=V_REGIONS - 1),
+        st.integers(min_value=0, max_value=PAGES_PER_HUGE - 1),
+        st.integers(min_value=0, max_value=GP_REGIONS - 1),
+    ),
+    max_size=50,
+)
+
+
+def apply_event(guest, ept, index, layer, kind, region, offset, target):
+    table = guest if layer == "guest" else ept
+    limit = GP_REGIONS if layer == "guest" else HP_REGIONS
+    target %= limit
+    vpn = region * PAGES_PER_HUGE + offset
+    try:
+        if kind == "map_base":
+            table.map_base(vpn, target * PAGES_PER_HUGE + offset)
+        elif kind == "unmap_base":
+            table.unmap_base(vpn)
+        elif kind == "map_huge":
+            table.map_huge(region, target)
+        elif kind == "unmap_huge":
+            table.unmap_huge(region)
+        elif kind == "promote":
+            table.promote_in_place(region)
+        elif kind == "demote":
+            table.demote(region)
+        elif kind == "remap":
+            bucket = table.region_mappings(region)
+            if bucket:
+                # Shift every frame into the aux target region, keeping
+                # per-page offsets: a migration-style remap.
+                new = {
+                    v: target * PAGES_PER_HUGE + (p % PAGES_PER_HUGE)
+                    for v, p in bucket.items()
+                }
+                table.remap_region(region, new)
+        elif kind == "fill_region":
+            # Densely map the whole region at one aligned offset so
+            # promote/translated paths are reachable from random data.
+            for o in range(PAGES_PER_HUGE):
+                v = region * PAGES_PER_HUGE + o
+                if table.translate(v) is None and not table.is_huge(region):
+                    try:
+                        table.map_base(v, target * PAGES_PER_HUGE + o)
+                    except MappingError:
+                        pass
+        elif kind == "query_translated":
+            got = index.region_translated(region)
+            assert got == reference_translated(guest, ept, region)
+        elif kind == "query_classes":
+            cached = index.cached_classes(region)
+            fresh = classify_region(guest, ept, region)
+            if cached is None:
+                index.store_classes(region, fresh)
+            else:
+                assert cached == fresh
+    except MappingError:
+        pass
+
+
+@settings(max_examples=60, deadline=None)
+@given(events=EVENTS)
+def test_index_summaries_match_recompute(events):
+    """After every event the incremental summaries equal a recompute."""
+    guest = PageTable("guest")
+    ept = PageTable("ept")
+    guest.enable_index()
+    ept.enable_index()
+    index = VMTranslationIndex(guest, ept)
+    for layer, kind, region, offset, target in events:
+        apply_event(guest, ept, index, layer, kind, region, offset, target)
+        check_index(guest, ept, index)
+
+
+@settings(max_examples=30, deadline=None)
+@given(events=EVENTS)
+def test_index_bootstrap_matches_live_maintenance(events):
+    """Attaching an index to a populated table equals having watched the
+    mutations from the start."""
+    guest = PageTable("guest")
+    ept = PageTable("ept")
+    guest.enable_index()
+    ept.enable_index()
+    live = VMTranslationIndex(guest, ept)
+    for layer, kind, region, offset, target in events:
+        if kind in ("query_translated", "query_classes"):
+            continue
+        apply_event(guest, ept, live, layer, kind, region, offset, target)
+    late = VMTranslationIndex(guest, ept)
+    assert late.report() == live.report()
+    assert late.live_set() == live.live_set()
+    assert late._targets == live._targets
+    assert late._live_base == live._live_base
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(
+                ["fault", "unmap", "promote_mig", "promote_inplace",
+                 "demote", "compact", "relocate"]
+            ),
+            st.integers(min_value=0, max_value=5),
+            st.integers(min_value=0, max_value=PAGES_PER_HUGE - 1),
+        ),
+        max_size=40,
+    )
+)
+def test_owner_counts_match_rmap_recompute(ops):
+    """The per-region owner counts equal a recompute from the raw reverse
+    map after arbitrary MemoryLayer traffic."""
+    total = 12 * PAGES_PER_HUGE
+    layer = MemoryLayer("prop", PhysicalMemory(total), HugePagePolicy())
+    layer.enable_owner_index()
+    for op, region, offset in ops:
+        vpn = region * PAGES_PER_HUGE + offset
+        try:
+            if op == "fault":
+                layer.fault(PROCESS, vpn)
+            elif op == "unmap":
+                layer.unmap_range(PROCESS, region * PAGES_PER_HUGE, PAGES_PER_HUGE)
+            elif op == "promote_mig":
+                layer.promote_with_migration(PROCESS, region)
+            elif op == "promote_inplace":
+                layer.try_promote_in_place(PROCESS, region)
+            elif op == "demote":
+                if layer.table(PROCESS).is_huge(region):
+                    layer.demote(PROCESS, region)
+            elif op == "compact":
+                layer.compact_region(PROCESS, region, (region + 3) % 12)
+            elif op == "relocate":
+                layer.relocate_page(PROCESS, vpn)
+        except OutOfMemory:
+            pass
+        expected: dict[int, dict[tuple[int, int], int]] = {}
+        for pfn, (client, owner_vpn) in layer._rmap_base.items():
+            bucket = expected.setdefault(pfn // PAGES_PER_HUGE, {})
+            key = (client, owner_vpn // PAGES_PER_HUGE)
+            bucket[key] = bucket.get(key, 0) + 1
+        assert layer._owner_counts == expected
+        for pregion in range(12):
+            assert layer.base_owned_in_region(pregion) == sum(
+                expected.get(pregion, {}).values()
+            )
