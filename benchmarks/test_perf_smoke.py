@@ -20,6 +20,12 @@ the bench trajectory is populated from run to run:
   4 workers with a warm result cache, the configuration experiment
   sweeps actually run in.  Small batches must not regress against serial
   (the pool falls back to serial below ``MIN_PARALLEL_CELLS``).
+* **Fleet** — an 8-host x 12-epoch cluster simulation, serial versus
+  4 workers on the sticky-state actor pool (hosts live on their worker
+  for the whole run; only function calls, per-epoch records and host
+  views travel).  Results must be identical in both modes; the speedup
+  assertion only runs on machines with >= 4 cores, where the per-host
+  stepping actually overlaps.
 
 The assertions are deliberately machine-independent where possible
 (batched must not lose to per-page; the index must be >= 2x on the
@@ -31,10 +37,12 @@ CI hardware.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import time
 from dataclasses import replace
 
+from repro.cluster import ClusterConfig, ClusterSimulation
 from repro.exec import Cell, ResultCache, run_cells
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import run_workload
@@ -60,6 +68,11 @@ SCAN_HEAVY = SimulationConfig(epochs=144, fragment_guest=0.8, fragment_host=0.8)
 MATRIX_CONFIG = SimulationConfig(epochs=6, fragment_guest=0.8, fragment_host=0.8)
 MATRIX_WORKLOADS = ["Redis", "SVM"]
 MATRIX_SYSTEMS = ["Host-B-VM-B", "THP", "Gemini"]
+
+#: The fleet cell: enough hosts that per-host stepping dominates the
+#: controller's (serial) placement/consolidation work.
+FLEET_CONFIG = ClusterConfig(hosts=8, host_mib=768, epochs=12, seed=42)
+FLEET_WORKERS = 4
 
 
 def _timed(fn):
@@ -114,8 +127,18 @@ def test_perf_smoke(tmp_path):
     assert warm == serial, "cached results diverged from serial execution"
     assert warm_cache.stats.hits == len(cells)
 
+    # --- fleet: serial vs parallel per-host stepping ---------------------
+    fleet_serial, fleet_serial_s = _timed(
+        lambda: ClusterSimulation(FLEET_CONFIG).run(workers=1)
+    )
+    fleet_parallel, fleet_parallel_s = _timed(
+        lambda: ClusterSimulation(FLEET_CONFIG).run(workers=FLEET_WORKERS)
+    )
+    assert fleet_serial == fleet_parallel, "parallel fleet diverged from serial"
+
     single_speedup = PRE_OPT_SINGLE_CELL_SECONDS / batched_s
     matrix_speedup = serial_s / warm_s
+    cores = os.cpu_count() or 1
     report = {
         "single_cell": {
             "workload": "Redis",
@@ -148,6 +171,20 @@ def test_perf_smoke(tmp_path):
             "workers": 4,
             "speedup_warm_vs_serial": round(matrix_speedup, 2),
         },
+        "fleet": {
+            "hosts": FLEET_CONFIG.hosts,
+            "epochs": FLEET_CONFIG.epochs,
+            "host_mib": FLEET_CONFIG.host_mib,
+            "serial_seconds": round(fleet_serial_s, 4),
+            "parallel_seconds": round(fleet_parallel_s, 4),
+            "workers": FLEET_WORKERS,
+            "cores": cores,
+            "speedup_parallel_vs_serial": round(
+                fleet_serial_s / fleet_parallel_s, 2
+            ),
+            "migrations": fleet_serial.migration_count,
+            "fleet_fmfi": round(fleet_serial.fleet_fmfi, 4),
+        },
     }
     BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -165,3 +202,8 @@ def test_perf_smoke(tmp_path):
     # >= 3x matrix win with 4 workers and a warm cache: serving six
     # simulations from the cache is milliseconds against seconds.
     assert matrix_speedup >= 3.0
+    # Parallel per-host stepping must beat serial where the cores exist
+    # to overlap it; on smaller machines (and single-core CI containers)
+    # the numbers are still recorded above but prove nothing.
+    if cores >= FLEET_WORKERS:
+        assert fleet_parallel_s < fleet_serial_s

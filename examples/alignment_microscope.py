@@ -12,15 +12,21 @@ Usage::
     python examples/alignment_microscope.py
 """
 
+import os
+
 from repro.experiments.fig02_microbench import FIG2_SYSTEMS, format_fig02, run_fig02
 from repro.mem.layout import PAGES_PER_HUGE
 from repro.os.mm import PROCESS
 from repro.sim import Simulation, SimulationConfig
 from repro.workloads.microbench import RandomAccessMicrobench
 
+#: CI smoke mode (REPRO_SMOKE=1): shrink the run so every example is fast.
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
+
 
 def main() -> None:
-    points = run_fig02(sizes=[1.0, 4.0, 16.0, 64.0], epochs=5)
+    sizes = [1.0, 16.0] if SMOKE else [1.0, 4.0, 16.0, 64.0]
+    points = run_fig02(sizes=sizes, epochs=3 if SMOKE else 5)
     print(format_fig02(points))
     print()
 

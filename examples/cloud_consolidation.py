@@ -13,12 +13,17 @@ Usage::
     python examples/cloud_consolidation.py
 """
 
+import os
+
 from repro import Simulation, SimulationConfig, make_workload
+
+#: CI smoke mode (REPRO_SMOKE=1): shrink the run so every example is fast.
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
 
 
 def main() -> None:
     config = SimulationConfig(
-        epochs=16,
+        epochs=4 if SMOKE else 16,
         host_mib=1024,
         guest_mib=256,
         nodes=2,

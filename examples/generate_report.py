@@ -15,6 +15,7 @@ Usage::
     python examples/generate_report.py [output_dir]
 """
 
+import os
 import pathlib
 import sys
 
@@ -22,15 +23,20 @@ from repro.experiments.clean_slate import run_clean_slate, table3_alignment
 from repro.experiments.common import normalize
 from repro.metrics.report import matrix_to_markdown, series_to_csv, write_csv
 
+#: CI smoke mode (REPRO_SMOKE=1): shrink the run so every example is fast.
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
+
 
 def main() -> None:
     out_dir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "report_out")
     out_dir.mkdir(exist_ok=True)
 
-    workloads = ["Masstree", "Redis", "SVM"]
+    workloads = ["Redis"] if SMOKE else ["Masstree", "Redis", "SVM"]
     systems = ["Host-B-VM-B", "THP", "Ingens", "HawkEye", "Gemini"]
     print(f"Running {len(workloads)}x{len(systems)} fragmented clean-slate matrix...")
-    results = run_clean_slate(workloads=workloads, systems=systems, epochs=12)
+    results = run_clean_slate(
+        workloads=workloads, systems=systems, epochs=3 if SMOKE else 12
+    )
 
     summary = "\n\n".join(
         [

@@ -13,11 +13,18 @@ Usage::
     python examples/kv_store_churn.py
 """
 
+import os
+
 from repro import PAPER_SYSTEMS, Simulation, SimulationConfig, make_workload
+
+#: CI smoke mode (REPRO_SMOKE=1): shrink the run so every example is fast.
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
 
 
 def main() -> None:
-    config = SimulationConfig(epochs=18, fragment_guest=0.6, fragment_host=0.6)
+    config = SimulationConfig(
+        epochs=6 if SMOKE else 18, fragment_guest=0.6, fragment_host=0.6
+    )
 
     print("Key-value store under churn: alignment rate per epoch")
     print()

@@ -11,15 +11,19 @@ Usage::
     python examples/quickstart.py [workload]
 """
 
+import os
 import sys
 
 from repro import Simulation, SimulationConfig, make_workload
+
+#: CI smoke mode (REPRO_SMOKE=1): shrink the run so every example is fast.
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
 
 
 def main() -> None:
     workload_name = sys.argv[1] if len(sys.argv) > 1 else "Redis"
     config = SimulationConfig(
-        epochs=16,
+        epochs=4 if SMOKE else 16,
         fragment_guest=0.8,   # the fragmenter drives both layers to a
         fragment_host=0.8,    # high FMFI before the workload starts
     )

@@ -17,11 +17,18 @@ Usage::
     python examples/vm_reuse_lifecycle.py
 """
 
+import os
+
 from repro import Simulation, SimulationConfig, make_workload
+
+#: CI smoke mode (REPRO_SMOKE=1): shrink the run so every example is fast.
+SMOKE = bool(os.environ.get("REPRO_SMOKE"))
 
 
 def run(system: str, reused: bool):
-    config = SimulationConfig(epochs=16, fragment_guest=0.3, fragment_host=0.3)
+    config = SimulationConfig(
+        epochs=4 if SMOKE else 16, fragment_guest=0.3, fragment_host=0.3
+    )
     primer = make_workload("SVM") if reused else None
     return Simulation(
         make_workload("Xapian"), system=system, config=config, primer=primer

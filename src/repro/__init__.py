@@ -25,6 +25,12 @@ See ``examples/`` for runnable scenarios and ``repro.experiments`` for the
 harness that regenerates every table and figure of the paper.
 """
 
+from repro.cluster import (
+    ClusterConfig,
+    ClusterSimulation,
+    FleetResult,
+    run_cluster,
+)
 from repro.core import GeminiConfig, GeminiRuntime
 from repro.hypervisor import Platform, VM
 from repro.metrics.alignment import AlignmentReport, alignment_report
@@ -43,6 +49,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AlignmentReport",
+    "ClusterConfig",
+    "ClusterSimulation",
+    "FleetResult",
     "GeminiConfig",
     "GeminiRuntime",
     "LATENCY_SUITE",
@@ -58,6 +67,7 @@ __all__ = [
     "Workload",
     "alignment_report",
     "make_workload",
+    "run_cluster",
     "run_workload",
     "system_spec",
     "workload_names",

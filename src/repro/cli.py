@@ -11,7 +11,11 @@ Commands
     Regenerate one of the paper's tables/figures or the extra studies:
     fig02, fig03, clean-slate (figs 8-11 + table 3), reused-vm (figs 12-15
     + table 4), fig16, collocation (figs 17-18), ablations, validation,
-    sweeps, interplay.
+    sweeps, interplay, fleet.
+``cluster``
+    Simulate a fleet of hosts under VM churn, placement, consolidation
+    and live migration, and print fleet FMFI, the per-host alignment
+    distribution and migration cost accounting.
 
 ``run`` and ``experiment`` accept ``--profile [N]`` (or the
 ``REPRO_PROFILE`` environment variable) to wrap the command in
@@ -23,6 +27,13 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.cluster import (
+    ClusterConfig,
+    FleetResult,
+    MigrationConfig,
+    placement_names,
+    run_cluster,
+)
 from repro.exec import Cell, ResultCache, run_cells
 from repro.experiments import (
     ablations,
@@ -31,12 +42,13 @@ from repro.experiments import (
     collocation,
     fig02_microbench,
     fig03_motivation,
+    fleet_consolidation,
     interplay,
     reused_vm,
     sweeps,
     validation,
 )
-from repro.metrics.report import format_cache_stats
+from repro.metrics.report import format_cache_stats, format_fleet_summary
 from repro.policies.registry import PAPER_SYSTEMS, SYSTEMS
 from repro.sim.config import SimulationConfig
 from repro.workloads.suite import make_workload, workload_names
@@ -78,7 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[
             "fig02", "fig03", "clean-slate", "reused-vm", "fig16",
             "collocation", "ablations", "validation", "sweeps",
-            "interplay",
+            "interplay", "fleet",
         ],
     )
     experiment.add_argument("--epochs", type=int, default=None)
@@ -88,6 +100,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to specific workloads; repeatable",
     )
     _add_exec_args(experiment)
+
+    cluster = sub.add_parser(
+        "cluster", help="simulate a fleet of hosts under VM churn"
+    )
+    cluster.add_argument("--hosts", type=int, default=8)
+    cluster.add_argument("--host-mib", type=int, default=768)
+    cluster.add_argument("--epochs", type=int, default=16)
+    cluster.add_argument("--seed", type=int, default=42)
+    cluster.add_argument("--system", default="Gemini",
+                         help="coalescing policy on every host (see `repro list`)")
+    cluster.add_argument(
+        "--placement", default="first-fit", choices=placement_names(),
+        help="VM placement policy (default first-fit)",
+    )
+    cluster.add_argument(
+        "--fragment-host", type=float, default=0.0,
+        help="FMFI target of the oldest host; hosts get a linear "
+        "age gradient down to 0 on the newest (default 0)",
+    )
+    cluster.add_argument(
+        "--check-invariants", action="store_true",
+        help="verify page conservation after every migration (debug)",
+    )
+    _add_exec_args(cluster)
     return parser
 
 
@@ -215,6 +251,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(interplay.format_balloon(interplay.run_balloon_interplay(epochs=epochs)))
         print()
         print(interplay.format_ksm(interplay.run_ksm_interplay(epochs=epochs)))
+    elif name == "fleet":
+        results = fleet_consolidation.run_fleet_consolidation(
+            epochs=epochs, workers=args.workers
+        )
+        print(fleet_consolidation.format_fleet_consolidation(results))
     elif name == "ablations":
         print(ablations.format_ablation(
             ablations.run_timeout_ablation(epochs=epochs),
@@ -249,11 +290,37 @@ def _profile_top(args: argparse.Namespace) -> int | None:
         return 25
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    config = ClusterConfig(
+        hosts=args.hosts,
+        host_mib=args.host_mib,
+        epochs=args.epochs,
+        seed=args.seed,
+        system=args.system,
+        placement=args.placement,
+        fragment_host=args.fragment_host,
+        migration=MigrationConfig(check_invariants=args.check_invariants),
+    )
+    cache = (
+        ResultCache(args.cache_dir, expected=FleetResult)
+        if args.cache_dir
+        else ResultCache.from_env(expected=FleetResult)
+    )
+    result = run_cluster(config, workers=args.workers, cache=cache)
+    print(format_fleet_summary(result))
+    if cache is not None and cache.stats.requests:
+        print()
+        print(format_cache_stats(cache.stats))
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
     return 1  # pragma: no cover - argparse enforces the choices
 
 

@@ -1,0 +1,299 @@
+"""The fleet engine: churn, placement, consolidation, parallel stepping.
+
+One :class:`ClusterSimulation` drives N hosts epoch by epoch:
+
+1. the epoch's trace events are applied — arrivals go through the
+   configured placement policy, departures free their VM (leaving the
+   host-side holes behind), resizes balloon;
+2. every ``consolidation.every`` epochs the controller runs a Neat-style
+   consolidation pass (overload shedding, underload draining) whose moves
+   are live migrations through :func:`repro.cluster.migration.migrate_out`
+   / :func:`~repro.cluster.migration.migrate_in`;
+3. every host steps one epoch.
+
+Hosts live on a :class:`~repro.exec.actors.ActorPool`: each host is owned
+by one worker for the whole run, so per-epoch traffic is just the step
+command out and the epoch's records plus a small
+:class:`~repro.cluster.host.HostView` back — the multi-megabyte host
+graphs never travel (except a migrating tenant, which is the point of a
+migration).  The controller makes every decision from the views, so
+serial (``workers=1``, hosts in-process) and parallel runs of the same
+seed produce identical results.
+
+``run_cluster`` wraps a run with the content-keyed result cache, exactly
+like ``run_cells`` does for single-host experiment cells.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.host import Host, HostView
+from repro.cluster.migration import build_record, migrate_in, migrate_out
+from repro.cluster.placement import make_placement
+from repro.cluster.results import FleetResult, HostEpochRecord, TenantEpochRecord
+from repro.cluster.trace import TraceEvent, build_trace
+from repro.exec.actors import ActorPool
+from repro.exec.cache import ResultCache, code_version
+from repro.mem.layout import MIB, PAGE_SIZE
+from repro.workloads import Workload, make_workload
+
+__all__ = ["ClusterSimulation", "fleet_key", "run_cluster"]
+
+
+# ----------------------------------------------------------------------
+# Actor functions: run on the worker that owns the host.  Module-level so
+# the pool can pickle them by reference; each returns a fresh HostView so
+# the controller's picture stays current.
+# ----------------------------------------------------------------------
+
+
+def _act_step(
+    host: Host, epoch: int
+) -> tuple[list[HostEpochRecord], list[TenantEpochRecord], HostView]:
+    host.step_epoch(epoch)
+    host_records, tenant_records = host.drain_records()
+    return host_records, tenant_records, host.summary()
+
+
+def _act_add_tenant(
+    host: Host, ordinal: int, guest_mib: int, workload: Workload, epoch: int
+) -> HostView:
+    host.add_tenant(ordinal, guest_mib, workload, epoch)
+    return host.summary()
+
+
+def _act_destroy_tenant(host: Host, ordinal: int) -> HostView:
+    host.destroy_tenant(ordinal)
+    return host.summary()
+
+
+def _act_resize_tenant(
+    host: Host, ordinal: int, grow: bool, fraction: float
+) -> HostView:
+    host.resize_tenant(ordinal, grow, fraction)
+    return host.summary()
+
+
+class ClusterSimulation:
+    """One fleet simulation: N hosts, a churn trace, a placement policy."""
+
+    def __init__(self, config: ClusterConfig | None = None) -> None:
+        self.config = config or ClusterConfig()
+        if self.config.hosts <= 0:
+            raise ValueError("at least one host required")
+        self.hosts = [Host(i, self.config) for i in range(self.config.hosts)]
+        self.placement = make_placement(self.config.placement)
+        self.trace = build_trace(self.config)
+        self._events: dict[int, list[TraceEvent]] = {}
+        for event in self.trace:
+            self._events.setdefault(event.epoch, []).append(event)
+        #: The controller's picture of each host, refreshed by every
+        #: actor call; all placement/consolidation decisions read this.
+        self._views: list[HostView] = [host.summary() for host in self.hosts]
+        #: ordinal -> index of the host currently running the VM.
+        self._vm_host: dict[int, int] = {}
+        #: ordinal -> guest size in pages (the commitment a migration
+        #: must find room for).
+        self._guest_pages: dict[int, int] = {}
+        self.result = FleetResult(
+            system=self.config.system,
+            placement=self.config.placement,
+            hosts=self.config.hosts,
+            epochs=self.config.epochs,
+            seed=self.config.seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+
+    def run(self, workers: int | None = None) -> FleetResult:
+        """Run all epochs; *workers* > 1 steps hosts on a process pool."""
+        consolidation = self.config.consolidation
+        pool = ActorPool(workers)
+        pool.scatter(self.hosts)
+        try:
+            for epoch in range(self.config.epochs):
+                self._apply_events(pool, epoch)
+                if (
+                    consolidation.every > 0
+                    and epoch > 0
+                    and epoch % consolidation.every == 0
+                ):
+                    self._consolidate(pool, epoch)
+                outputs = pool.map(
+                    _act_step, [(epoch,)] * len(self.hosts)
+                )
+                for host_records, tenant_records, view in outputs:
+                    self.result.host_epochs.extend(host_records)
+                    self.result.tenant_epochs.extend(tenant_records)
+                    self._views[view.index] = view
+            # Bring the final host states home so callers can inspect
+            # them the same way after serial and parallel runs.
+            self.hosts = pool.gather()
+        finally:
+            pool.close()
+        return self.result
+
+    # ------------------------------------------------------------------
+    # Churn events
+    # ------------------------------------------------------------------
+
+    def _apply_events(self, pool: ActorPool, epoch: int) -> None:
+        for event in self._events.get(epoch, ()):
+            if event.kind == "arrive":
+                self._arrive(pool, event, epoch)
+            elif event.ordinal in self._vm_host:
+                index = self._vm_host[event.ordinal]
+                if event.kind == "depart":
+                    view = pool.apply(_act_destroy_tenant, index, event.ordinal)
+                    del self._vm_host[event.ordinal]
+                    del self._guest_pages[event.ordinal]
+                else:
+                    view = pool.apply(
+                        _act_resize_tenant,
+                        index,
+                        event.ordinal,
+                        event.grow,
+                        event.delta_fraction,
+                    )
+                self._views[index] = view
+
+    def _arrive(self, pool: ActorPool, event: TraceEvent, epoch: int) -> None:
+        # Reserve the full guest size, not the workload footprint: guest
+        # munmap never returns host frames (Section 6.3), so a VM's host
+        # usage grows toward its guest size over its lifetime.  RAM is
+        # not overcommitted, as on real clouds.
+        guest_pages = event.guest_mib * MIB // PAGE_SIZE
+        needed = int(guest_pages * self.config.placement_headroom)
+        index = self.placement.select(self._views, needed)
+        if index is None:
+            self.result.placement_failures += 1
+            return
+        workload = make_workload(event.workload)
+        self._views[index] = pool.apply(
+            _act_add_tenant, index, event.ordinal, event.guest_mib, workload, epoch
+        )
+        self._vm_host[event.ordinal] = index
+        self._guest_pages[event.ordinal] = guest_pages
+
+    # ------------------------------------------------------------------
+    # Consolidation (OpenStack-Neat-style: overload shedding, then
+    # underload draining; every decision deterministic — hosts in index
+    # order, tenants in ordinal order, budget-capped)
+    # ------------------------------------------------------------------
+
+    def _consolidate(self, pool: ActorPool, epoch: int) -> None:
+        consolidation = self.config.consolidation
+        budget = consolidation.max_migrations
+        for index in range(len(self._views)):
+            while (
+                budget > 0
+                and self._views[index].residents
+                and self._views[index].utilization > consolidation.overload
+            ):
+                # Shed the cheapest VM to move: the smallest resident set.
+                ordinal = min(
+                    self._views[index].residents, key=lambda r: (r[1], r[0])
+                )[0]
+                if not self._migrate(pool, ordinal, index, epoch, "overload"):
+                    break
+                budget -= 1
+        for index in range(len(self._views)):
+            if budget <= 0:
+                break
+            view = self._views[index]
+            if not view.residents or view.utilization >= consolidation.underload:
+                continue
+            for ordinal, _ in view.residents:
+                if budget <= 0:
+                    break
+                if not self._migrate(pool, ordinal, index, epoch, "underload"):
+                    break
+                budget -= 1
+
+    def _migrate(
+        self, pool: ActorPool, ordinal: int, source: int, epoch: int, reason: str
+    ) -> bool:
+        needed = int(
+            self._guest_pages[ordinal] * self.config.placement_headroom
+        )
+        destination = self.placement.select(
+            self._views, needed, exclude=frozenset({source})
+        )
+        if destination is None:
+            return False
+        migration = self.config.migration
+        tenant, state, runs, schedule, src_view = pool.apply(
+            migrate_out, source, ordinal, migration
+        )
+        self._views[source] = src_view
+        self._views[destination] = pool.apply(
+            migrate_in, destination, tenant, state, runs, migration
+        )
+        self.result.migrations.append(
+            build_record(
+                epoch=epoch,
+                ordinal=ordinal,
+                source=source,
+                destination=destination,
+                reason=reason,
+                runs=runs,
+                schedule=schedule,
+            )
+        )
+        self._vm_host[ordinal] = destination
+        return True
+
+
+# ----------------------------------------------------------------------
+# Cached entry point
+# ----------------------------------------------------------------------
+
+
+def fleet_key(config: ClusterConfig) -> str:
+    """Content key of one fleet run: same key == same result.
+
+    Like :func:`repro.exec.cache.cell_key`, the two bit-identical fast
+    paths (``batch_faults``, ``incremental_index``) are excluded so all
+    settings share cache entries, and the code version is folded in so
+    editing the simulator invalidates stale results.
+    """
+    payload = asdict(config)
+    payload.pop("batch_faults", None)
+    payload.pop("incremental_index", None)
+    raw = json.dumps(
+        {"cluster": payload, "code": code_version()},
+        sort_keys=True,
+        default=repr,
+    ).encode()
+    return hashlib.sha256(raw).hexdigest()
+
+
+def run_cluster(
+    config: ClusterConfig | None = None,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+) -> FleetResult:
+    """Run (or load) one fleet simulation.
+
+    When *cache* is None, ``REPRO_CACHE_DIR`` (if set) provides one; the
+    worker count only affects wall-clock time, never the result, so it is
+    not part of the cache key.
+    """
+    config = config or ClusterConfig()
+    if cache is None:
+        cache = ResultCache.from_env(expected=FleetResult)
+    key = fleet_key(config) if cache is not None else None
+    if cache is not None:
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+    result = ClusterSimulation(config).run(workers=workers)
+    if cache is not None:
+        cache.put(key, result)
+    return result

@@ -138,6 +138,23 @@ class ReservedRegionPool:
             released += self._release(reservation)
         return released
 
+    def release_matching(self, predicate) -> int:
+        """Release every reservation whose *purpose* satisfies *predicate*.
+
+        Used when a VM detaches from the host: its ``(vm_id, gpregion)``
+        purposed bookings must return their frames to the buddy allocator
+        (the reservations back EPT faults that will never come).  Returns
+        pages freed.
+        """
+        due = [
+            r for r in self._reservations.values()
+            if r.purpose is not None and predicate(r.purpose)
+        ]
+        released = 0
+        for reservation in due:
+            released += self._release(reservation)
+        return released
+
     def _release(self, reservation: _Reservation) -> int:
         self._remove(reservation)
         start = reservation.pregion * PAGES_PER_HUGE

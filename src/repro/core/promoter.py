@@ -232,6 +232,18 @@ class HostPromoter:
     def backlog(self) -> int:
         return len(self._queue)
 
+    def drop_client(self, vm_id: int) -> None:
+        """Forget queued work for a departed VM.
+
+        Without this, a stale queue entry would recreate the VM's EPT (the
+        layer's ``table()`` builds tables on first use) after detach.
+        """
+        self._queue = [key for key in self._queue if key[0] != vm_id]
+        self._queued = {key for key in self._queued if key[0] != vm_id}
+        self._attempts = {
+            key: count for key, count in self._attempts.items() if key[0] != vm_id
+        }
+
     def run(self) -> int:
         promoted = 0
         retry: list[tuple[int, int]] = []

@@ -113,6 +113,36 @@ class GeminiRuntime:
             )
         self._guests[vm.id] = _GuestState(vm, policy, self.config)
 
+    def unregister_vm(self, vm_id: int) -> "_GuestState | None":
+        """Detach a VM from this runtime (live-migration departure).
+
+        Host-side state tied to the VM — purposed bookings reserving host
+        frames for its future EPT faults, and host-promoter queue entries —
+        is released here; the returned guest-side state (booking, bucket,
+        promoter, timeout controller) lives entirely inside the VM's own
+        guest-physical space and travels with it: hand it to the
+        destination runtime's :meth:`adopt_vm`.
+        """
+        state = self._guests.pop(vm_id, None)
+        self.host_booking.release_matching(
+            lambda purpose: isinstance(purpose, tuple) and purpose[0] == vm_id
+        )
+        self.host_promoter.drop_client(vm_id)
+        host_policy = self.platform.host.policy
+        if isinstance(host_policy, GeminiHostPolicy):
+            host_policy.live_regions.pop(vm_id, None)
+        return state
+
+    def adopt_vm(self, vm: "VM", state: "_GuestState | None") -> None:
+        """Re-register a migrated-in VM with its travelling guest state.
+
+        Falls back to :meth:`register_vm` when no state is available (the
+        source host was not running the Gemini runtime)."""
+        if state is None:
+            self.register_vm(vm)
+            return
+        self._guests[vm.id] = state
+
     def guest_state(self, vm_id: int) -> _GuestState:
         return self._guests[vm_id]
 

@@ -1,0 +1,192 @@
+"""Sticky-state worker pool: workers own long-lived state (actor model).
+
+``run_cells`` ships each work item to whichever worker is free — right
+for stateless cells, hopeless for the cluster engine, where every epoch
+mutates the same N multi-megabyte host graphs.  Shipping hosts back and
+forth every epoch costs more than stepping them.
+
+:class:`ActorPool` fixes the economics by pinning state to workers:
+``scatter`` distributes the state objects once (while they are still
+small), after which every ``apply``/``map`` call sends only a function
+reference plus its arguments and receives only the function's return
+value — the state itself never travels.  The assignment is static
+(state ``i`` lives on worker ``i % workers``), so a given state is
+always mutated by the same process and results cannot depend on
+scheduling.
+
+Serial fallback is built in: with ``workers <= 1``, or when the sandbox
+cannot fork, the pool keeps the states in-process and ``apply``/``map``
+call the functions directly on them.  Both modes run the *same* caller
+code; parallelism only changes where the mutation happens.
+
+Functions passed to ``apply``/``map`` must be module-level (they are
+pickled by reference) and take the state as their first argument.
+Exceptions raised by a function are re-raised in the parent.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from multiprocessing.connection import Connection
+
+from repro.exec.pool import resolve_workers
+
+__all__ = ["ActorPool"]
+
+
+def _worker_main(conn: Connection, states: dict[int, object]) -> None:
+    """Child process loop: execute call batches against owned states."""
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:  # parent went away
+            return
+        if message is None:
+            return
+        kind = message[0]
+        try:
+            if kind == "batch":
+                results = [
+                    (index, fn(states[index], *args))
+                    for index, fn, args in message[1]
+                ]
+                conn.send(("ok", results))
+            elif kind == "gather":
+                conn.send(("ok", sorted(states.items())))
+            else:  # pragma: no cover - protocol misuse
+                conn.send(("err", ValueError(f"unknown message {kind!r}")))
+        except BaseException as exc:  # noqa: BLE001 - forwarded to parent
+            try:
+                conn.send(("err", exc))
+            except Exception:
+                conn.send(("err", RuntimeError(repr(exc))))
+
+
+class ActorPool:
+    """Workers that own state objects across calls."""
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = resolve_workers(workers)
+        self._local: list | None = None
+        self._procs: list = []
+        self._conns: list[Connection] = []
+        self._owner: dict[int, int] = {}  # state index -> worker slot
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def is_local(self) -> bool:
+        return self._local is not None
+
+    def scatter(self, states: list) -> None:
+        """Distribute *states*; must be called exactly once, first."""
+        if self._local is not None or self._procs:
+            raise RuntimeError("scatter may only be called once")
+        if self.workers <= 1 or len(states) <= 1:
+            self._local = list(states)
+            return
+        try:
+            import pickle
+
+            pickle.dumps(states)
+        except Exception:
+            self._local = list(states)
+            return
+        slots = min(self.workers, len(states))
+        owned: list[dict[int, object]] = [{} for _ in range(slots)]
+        for index, state in enumerate(states):
+            self._owner[index] = index % slots
+            owned[index % slots][index] = state
+        try:
+            context = multiprocessing.get_context(
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else None
+            )
+            for slot in range(slots):
+                parent_conn, child_conn = context.Pipe()
+                proc = context.Process(
+                    target=_worker_main,
+                    args=(child_conn, owned[slot]),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+        except (OSError, PermissionError):
+            # Sandboxes without process support: run everything locally.
+            self.close()
+            self._owner.clear()
+            self._local = list(states)
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(None)
+                conn.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+        self._conns = []
+        self._procs = []
+
+    def __enter__(self) -> "ActorPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+
+    def _recv(self, conn: Connection):
+        status, payload = conn.recv()
+        if status == "err":
+            raise payload
+        return payload
+
+    def apply(self, fn, index: int, *args):
+        """Run ``fn(state[index], *args)`` on the owning worker."""
+        if self._local is not None:
+            return fn(self._local[index], *args)
+        conn = self._conns[self._owner[index]]
+        conn.send(("batch", [(index, fn, args)]))
+        return self._recv(conn)[0][1]
+
+    def map(self, fn, args_by_index: list[tuple]) -> list:
+        """Run ``fn(state[i], *args_by_index[i])`` for every state, in
+        parallel across workers; returns results in state order."""
+        if self._local is not None:
+            return [
+                fn(state, *args)
+                for state, args in zip(self._local, args_by_index)
+            ]
+        batches: list[list] = [[] for _ in self._conns]
+        for index, args in enumerate(args_by_index):
+            batches[self._owner[index]].append((index, fn, args))
+        for conn, batch in zip(self._conns, batches):
+            if batch:
+                conn.send(("batch", batch))
+        results: dict[int, object] = {}
+        for conn, batch in zip(self._conns, batches):
+            if batch:
+                results.update(dict(self._recv(conn)))
+        return [results[index] for index in range(len(args_by_index))]
+
+    def gather(self) -> list:
+        """Bring every state object back to the parent (state order)."""
+        if self._local is not None:
+            return list(self._local)
+        collected: dict[int, object] = {}
+        for conn in self._conns:
+            conn.send(("gather",))
+        for conn in self._conns:
+            collected.update(dict(self._recv(conn)))
+        return [collected[index] for index in sorted(collected)]

@@ -91,23 +91,32 @@ class CacheStats:
 
 
 class ResultCache:
-    """Pickled :class:`RunResult` records under a cache directory."""
+    """Pickled result records under a cache directory.
 
-    def __init__(self, directory: str | os.PathLike) -> None:
+    *expected* is the type a loaded entry must have to count as a hit;
+    the default (:class:`RunResult`) serves the cell executor, while the
+    cluster engine opens the same directory with its fleet result type —
+    keys never collide because they hash disjoint payloads.
+    """
+
+    def __init__(
+        self, directory: str | os.PathLike, expected: type | tuple = RunResult
+    ) -> None:
         self.directory = pathlib.Path(directory)
+        self.expected = expected
         self.stats = CacheStats()
 
     @classmethod
-    def from_env(cls) -> "ResultCache | None":
+    def from_env(cls, expected: type | tuple = RunResult) -> "ResultCache | None":
         """Cache at ``$REPRO_CACHE_DIR``, or None when the variable is
         unset/empty (caching disabled)."""
         directory = os.environ.get("REPRO_CACHE_DIR", "").strip()
-        return cls(directory) if directory else None
+        return cls(directory, expected=expected) if directory else None
 
     def _path(self, key: str) -> pathlib.Path:
         return self.directory / key[:2] / f"{key}.pkl"
 
-    def get(self, key: str) -> RunResult | None:
+    def get(self, key: str):
         path = self._path(key)
         try:
             with open(path, "rb") as handle:
@@ -115,13 +124,13 @@ class ResultCache:
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
             self.stats.misses += 1
             return None
-        if not isinstance(result, RunResult):
+        if not isinstance(result, self.expected):
             self.stats.misses += 1
             return None
         self.stats.hits += 1
         return result
 
-    def put(self, key: str, result: RunResult) -> None:
+    def put(self, key: str, result) -> None:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         # Atomic publish: concurrent workers may store the same key.

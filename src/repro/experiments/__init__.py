@@ -9,6 +9,7 @@ from repro.experiments import (
     collocation,
     fig02_microbench,
     fig03_motivation,
+    fleet_consolidation,
     reused_vm,
     sweeps,
     validation,
@@ -34,6 +35,7 @@ __all__ = [
     "collocation",
     "fig02_microbench",
     "fig03_motivation",
+    "fleet_consolidation",
     "format_table",
     "interplay",
     "normalize",

@@ -63,8 +63,24 @@ class Platform:
         self, guest_pages: int, guest_policy: HugePagePolicy, name: str = ""
     ) -> VM:
         vm = VM(self._next_vm_id, guest_pages, guest_policy, name=name)
-        self._next_vm_id += 1
+        self.attach_vm(vm)
+        return vm
+
+    def attach_vm(self, vm: VM) -> None:
+        """Adopt an existing VM (arrival half of live migration).
+
+        Creates a fresh EPT for the VM and wires the cross-layer hooks; the
+        guest-side state (guest tables, guest-physical allocator, address
+        space) arrives intact inside the VM object.  The EPT starts empty —
+        the destination re-backs the resident set by demand-faulting it, so
+        huge-page alignment is rebuilt under *this* host's policy.
+        """
+        if vm.id in self.vms:
+            raise ValueError(f"VM id {vm.id} already attached")
+        if self.host.has_client(vm.id):
+            raise ValueError(f"VM id {vm.id} still has an EPT on this host")
         self.vms[vm.id] = vm
+        self._next_vm_id = max(self._next_vm_id, vm.id + 1)
         # The guest layer can ask whether a guest-physical region it is
         # about to free was well-aligned (backed by a host huge page);
         # Gemini's huge bucket keys off this.
@@ -75,8 +91,28 @@ class Platform:
             guest_table.enable_index()
             ept.enable_index()
             vm.guest.enable_owner_index()
+            # The index bootstraps from the tables' current state, so a
+            # migrated-in VM's populated guest table is summarised too.
             self.indices[vm.id] = VMTranslationIndex(guest_table, ept)
-        return vm
+
+    def detach_vm(self, vm: VM | int) -> int:
+        """Remove a VM from this host (departure half of live migration).
+
+        Tears down the EPT and frees every host frame backing the VM; the
+        VM object keeps its guest-side state so it can be re-attached
+        elsewhere.  Returns the number of host pages freed.
+        """
+        vm = self.vms[vm] if isinstance(vm, int) else vm
+        if vm.id not in self.vms:
+            raise ValueError(f"VM id {vm.id} not attached to this platform")
+        index = self.indices.pop(vm.id, None)
+        if index is not None:
+            vm.guest.table(PROCESS).remove_watcher(index)
+            self.ept(vm.id).remove_watcher(index)
+        freed = self.host.release_client(vm.id)
+        del self.vms[vm.id]
+        vm.guest.alignment_probe = None
+        return freed
 
     def create_vm_mib(
         self, guest_mib: int, guest_policy: HugePagePolicy, name: str = ""

@@ -20,6 +20,9 @@ __all__ = [
     "matrix_to_markdown",
     "series_to_csv",
     "format_cache_stats",
+    "fleet_summary_rows",
+    "fleet_to_markdown",
+    "format_fleet_summary",
 ]
 
 #: RunResult properties exported by default.
@@ -102,6 +105,81 @@ def format_cache_stats(stats) -> str:
         f"result cache: {stats.hits} hits / {stats.misses} misses "
         f"({stats.hit_rate:.0%} hit rate), {stats.stores} results stored"
     )
+
+
+def fleet_summary_rows(result) -> list[dict[str, object]]:
+    """Per-host rows of a fleet run's final state.
+
+    *result* is a :class:`repro.cluster.FleetResult` (duck-typed; this
+    module must not import the cluster package, which imports metrics).
+    Each row carries the host's final FMFI, utilization, VM count and
+    well-aligned huge-page rate (blank when the host backs no huge
+    pages).
+    """
+    fmfi = result.host_fmfi()
+    alignment = result.alignment_distribution()
+    final = {record.host: record for record in result._final_host_epochs()}
+    rows: list[dict[str, object]] = []
+    for host in sorted(final):
+        record = final[host]
+        rows.append(
+            {
+                "host": host,
+                "vms": record.vms,
+                "utilization": record.utilization,
+                "fmfi": fmfi.get(host, 0.0),
+                "well_aligned_rate": alignment.get(host),
+            }
+        )
+    return rows
+
+
+def fleet_to_markdown(result, title: str = "") -> str:
+    """Render a fleet run's per-host state as a GitHub Markdown table."""
+    lines = []
+    if title:
+        lines.append(f"**{title}**")
+        lines.append("")
+    lines.append("| host | vms | utilization | FMFI | well-aligned |")
+    lines.append("|---|---|---|---|---|")
+    for row in fleet_summary_rows(result):
+        aligned = row["well_aligned_rate"]
+        aligned_cell = f"{aligned:.3f}" if aligned is not None else "-"
+        lines.append(
+            f"| {row['host']} | {row['vms']} | {row['utilization']:.2f} "
+            f"| {row['fmfi']:.4f} | {aligned_cell} |"
+        )
+    lines.append(
+        f"| **fleet** | | | {result.fleet_fmfi:.4f} "
+        f"| {result.fleet_well_aligned_rate:.3f} |"
+    )
+    return "\n".join(lines)
+
+
+def format_fleet_summary(result) -> str:
+    """Multi-line plain-text summary of a fleet run, for the CLI."""
+    lines = [
+        f"fleet: {result.hosts} hosts x {result.epochs} epochs, "
+        f"system={result.system}, placement={result.placement}, "
+        f"seed={result.seed}",
+        f"  fleet FMFI           {result.fleet_fmfi:.4f}",
+        f"  well-aligned rate    {result.fleet_well_aligned_rate:.3f}",
+        f"  mean throughput      {result.mean_throughput:.3e} ops/cycle",
+        f"  p99 latency          {result.p99_latency:.1f} cycles",
+        f"  migrations           {result.migration_count} "
+        f"({result.migration_pages} pages, "
+        f"{result.migration_cycles:.3e} cycles)",
+        f"  placement failures   {result.placement_failures}",
+        "  per-host (host: vms util fmfi aligned):",
+    ]
+    for row in fleet_summary_rows(result):
+        aligned = row["well_aligned_rate"]
+        aligned_text = f"{aligned:.3f}" if aligned is not None else "-"
+        lines.append(
+            f"    host{row['host']}: {row['vms']:>2} "
+            f"{row['utilization']:.2f} {row['fmfi']:.4f} {aligned_text}"
+        )
+    return "\n".join(lines)
 
 
 def series_to_csv(result: RunResult) -> str:

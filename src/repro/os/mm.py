@@ -596,6 +596,41 @@ class MemoryLayer:
                     self.release_frame(pfn)
         self.policy.on_unmap(client, start, end)
 
+    def has_client(self, client: int) -> bool:
+        """Does *client* have a page table on this layer?"""
+        return client in self._tables
+
+    def release_client(self, client: int) -> int:
+        """Tear down *client*'s entire table and free its backing frames.
+
+        The detach half of live migration: unlike :meth:`unmap_range`, the
+        policy cannot intercept freed regions (no bucket custody — the VM
+        is leaving this host), every frame goes straight back to the buddy
+        allocator, and the table itself is dropped so the client id can be
+        reused.  Returns the number of pages freed.  Shared (KSM) frames
+        only count when their last reference is released.
+        """
+        table = self._tables.pop(client, None)
+        if table is None:
+            return 0
+        freed = 0
+        for vregion, pregion in list(table.huge_mappings()):
+            table.unmap_huge(vregion)
+            del self._rmap_huge[pregion]
+            self._bloat.pop((client, vregion), None)
+            self.memory.free_range(pregion * PAGES_PER_HUGE, PAGES_PER_HUGE)
+            freed += PAGES_PER_HUGE
+        for vpn, pfn in list(table.base_mappings()):
+            table.unmap_base(vpn)
+            self._drop_rmap(pfn, client, vpn)
+            if pfn not in self._frame_refs:
+                freed += 1
+            self.release_frame(pfn)
+        # Let the policy forget any per-client placement state (offset
+        # descriptors, contiguity lists); the huge range covers every vpn.
+        self.policy.on_unmap(client, 0, 1 << 52)
+        return freed
+
     def _free_huge_mapping(self, client: int, vregion: int) -> None:
         table = self.table(client)
         pregion = table.unmap_huge(vregion)

@@ -115,6 +115,18 @@ class PageTable:
         """Register a mutation observer."""
         self._watchers.append(watcher)
 
+    def remove_watcher(self, watcher: TableWatcher) -> None:
+        """Unregister a mutation observer (idempotent).
+
+        Needed when a VM detaches from its platform (live migration): the
+        old translation index must stop observing tables that survive in
+        the VM, or it would keep mutating stale summaries.
+        """
+        try:
+            self._watchers.remove(watcher)
+        except ValueError:
+            pass
+
     def enable_index(self) -> None:
         """Turn on incremental per-region summaries (idempotent).
 

@@ -37,7 +37,112 @@ from repro.tlb import costs
 from repro.tlb.model import TLBModel, TranslationSegment
 from repro.workloads.base import Workload, WorkloadContext
 
-__all__ = ["Simulation", "run_workload"]
+__all__ = [
+    "Simulation",
+    "backfill_host",
+    "build_segments",
+    "charge_dedup_cow",
+    "run_workload",
+]
+
+
+def build_segments(
+    platform: Platform, vm: VM, workload: Workload, epoch: int
+) -> list[TranslationSegment]:
+    """Classify one epoch's accesses into TLB-model segments.
+
+    Shared by :class:`Simulation` and the cluster's per-host stepping:
+    walks the workload's access phases, classifies each touched 2 MiB
+    region against both page tables (through the VM's translation index
+    when present), and spreads the epoch's accesses over the resulting
+    translation kinds.
+    """
+    segments: list[TranslationSegment] = []
+    guest_table = vm.guest.table(PROCESS)
+    ept = platform.ept(vm.id)
+    vm_index = platform.index_of(vm.id)
+    total_accesses = workload.accesses_per_epoch
+    for phase in workload.access_phases(epoch):
+        if phase.vma not in vm.address_space:
+            continue
+        vma = vm.address_space.vma(phase.vma)
+        hot_pages = max(1, int(vma.npages * phase.hot_fraction))
+        first_region = vma.start // PAGES_PER_HUGE
+        last_region = (vma.start + hot_pages - 1) // PAGES_PER_HUGE
+        entries: dict = {}
+        pages: dict = {}
+        walk: dict = {}
+        for vregion in range(first_region, last_region + 1):
+            # A valid cached classification implies every guest-physical
+            # page the region depends on is still EPT-translated (any
+            # removal invalidates the cache), so backfill_host would be
+            # a pure no-op — skip both on a hit.
+            classes = None if vm_index is None else vm_index.cached_classes(vregion)
+            if classes is None:
+                backfill_host(platform, vm, vregion)
+                classes = classify_region(guest_table, ept, vregion)
+                if vm_index is not None:
+                    vm_index.store_classes(vregion, classes)
+            for cls in classes:
+                entries[cls.kind] = entries.get(cls.kind, 0) + cls.entries
+                pages[cls.kind] = pages.get(cls.kind, 0) + cls.pages
+                walk[cls.kind] = cls.walk_cycles
+        total_pages = sum(pages.values())
+        if total_pages == 0:
+            continue
+        phase_accesses = total_accesses * phase.weight
+        for kind, kind_entries in entries.items():
+            segments.append(
+                TranslationSegment(
+                    entries=kind_entries,
+                    accesses=phase_accesses * pages[kind] / total_pages,
+                    walk_cycles=walk[kind],
+                    label=f"{vma.name}:{kind.value}",
+                )
+            )
+    return segments
+
+
+def backfill_host(platform: Platform, vm: VM, vregion: int) -> None:
+    """Fault any host backing that accesses to *vregion* would demand.
+
+    After a guest-side migration the data lives at new guest-physical
+    addresses that the EPT has not backed yet; real accesses would
+    EPT-fault, so the engine faults them before evaluating the epoch.
+    """
+    guest_table = vm.guest.table(PROCESS)
+    ept = platform.ept(vm.id)
+    if guest_table.is_huge(vregion):
+        gpregion = guest_table.huge_target(vregion)
+        if ept.is_huge(gpregion):
+            return
+        base = gpregion * PAGES_PER_HUGE
+        if platform.batch_faults:
+            # Contiguous ascending range, no fault hook on this path:
+            # the batched walk makes the identical per-page decisions.
+            platform.host.fault_range(vm.id, base, PAGES_PER_HUGE)
+            return
+        for gpn in range(base, base + PAGES_PER_HUGE):
+            if ept.translate(gpn) is None:
+                platform.host.fault(vm.id, gpn, full_region=True)
+        return
+    for _, gpn in guest_table.region_items(vregion):
+        if ept.translate(gpn) is None:
+            platform.host.fault(vm.id, gpn, full_region=True)
+
+
+def charge_dedup_cow(vm: VM, workload: Workload) -> None:
+    """HawkEye's zero-page deduplication backfires on workloads that
+    write their deduplicated pages (Section 6.2, Specjbb)."""
+    policy = vm.guest.policy
+    if not getattr(policy, "deduplicates_zero_pages", False):
+        return
+    if workload.zero_page_dedup_rate <= 0.0:
+        return
+    faults = workload.zero_page_dedup_rate * workload.ops_per_epoch
+    vm.guest.ledger.charge(
+        "cow_fault", costs.COW_FAULT_CYCLES * faults, count=int(faults)
+    )
 
 
 class Simulation:
@@ -243,17 +348,7 @@ class Simulation:
             self.runtime.epoch(now=float(epoch), tlb_misses=self._last_misses)
 
     def _charge_dedup_cow(self, workload: Workload, vm: VM) -> None:
-        """HawkEye's zero-page deduplication backfires on workloads that
-        write their deduplicated pages (Section 6.2, Specjbb)."""
-        policy = vm.guest.policy
-        if not getattr(policy, "deduplicates_zero_pages", False):
-            return
-        if workload.zero_page_dedup_rate <= 0.0:
-            return
-        faults = workload.zero_page_dedup_rate * workload.ops_per_epoch
-        vm.guest.ledger.charge(
-            "cow_fault", costs.COW_FAULT_CYCLES * faults, count=int(faults)
-        )
+        charge_dedup_cow(vm, workload)
 
     # ------------------------------------------------------------------
     # Access classification
@@ -262,75 +357,7 @@ class Simulation:
     def _build_segments(
         self, workload: Workload, vm: VM, epoch: int
     ) -> list[TranslationSegment]:
-        segments: list[TranslationSegment] = []
-        guest_table = vm.guest.table(PROCESS)
-        ept = self.platform.ept(vm.id)
-        vm_index = self.platform.index_of(vm.id)
-        total_accesses = workload.accesses_per_epoch
-        for phase in workload.access_phases(epoch):
-            if phase.vma not in vm.address_space:
-                continue
-            vma = vm.address_space.vma(phase.vma)
-            hot_pages = max(1, int(vma.npages * phase.hot_fraction))
-            first_region = vma.start // PAGES_PER_HUGE
-            last_region = (vma.start + hot_pages - 1) // PAGES_PER_HUGE
-            entries: dict = {}
-            pages: dict = {}
-            walk: dict = {}
-            for vregion in range(first_region, last_region + 1):
-                # A valid cached classification implies every guest-physical
-                # page the region depends on is still EPT-translated (any
-                # removal invalidates the cache), so _backfill_host would be
-                # a pure no-op — skip both on a hit.
-                classes = None if vm_index is None else vm_index.cached_classes(vregion)
-                if classes is None:
-                    self._backfill_host(vm, guest_table, ept, vregion)
-                    classes = classify_region(guest_table, ept, vregion)
-                    if vm_index is not None:
-                        vm_index.store_classes(vregion, classes)
-                for cls in classes:
-                    entries[cls.kind] = entries.get(cls.kind, 0) + cls.entries
-                    pages[cls.kind] = pages.get(cls.kind, 0) + cls.pages
-                    walk[cls.kind] = cls.walk_cycles
-            total_pages = sum(pages.values())
-            if total_pages == 0:
-                continue
-            phase_accesses = total_accesses * phase.weight
-            for kind, kind_entries in entries.items():
-                segments.append(
-                    TranslationSegment(
-                        entries=kind_entries,
-                        accesses=phase_accesses * pages[kind] / total_pages,
-                        walk_cycles=walk[kind],
-                        label=f"{vma.name}:{kind.value}",
-                    )
-                )
-        return segments
-
-    def _backfill_host(self, vm: VM, guest_table, ept, vregion: int) -> None:
-        """Fault any host backing that accesses would demand.
-
-        After a guest-side migration the data lives at new guest-physical
-        addresses that the EPT has not backed yet; real accesses would
-        EPT-fault, so the engine faults them before evaluating the epoch.
-        """
-        if guest_table.is_huge(vregion):
-            gpregion = guest_table.huge_target(vregion)
-            if ept.is_huge(gpregion):
-                return
-            base = gpregion * PAGES_PER_HUGE
-            if self.platform.batch_faults:
-                # Contiguous ascending range, no fault hook on this path:
-                # the batched walk makes the identical per-page decisions.
-                self.platform.host.fault_range(vm.id, base, PAGES_PER_HUGE)
-                return
-            for gpn in range(base, base + PAGES_PER_HUGE):
-                if ept.translate(gpn) is None:
-                    self.platform.host.fault(vm.id, gpn, full_region=True)
-            return
-        for _, gpn in guest_table.region_items(vregion):
-            if ept.translate(gpn) is None:
-                self.platform.host.fault(vm.id, gpn, full_region=True)
+        return build_segments(self.platform, vm, workload, epoch)
 
 
 def run_workload(

@@ -49,18 +49,21 @@ class NoiseAgent:
         self._rng = random.Random(seed)
         self._guest_held: dict[int, list[int]] = {}
         self._host_held: list[int] = []
-        #: Current "unmovable pageblock" per arena (keyed by id(memory)):
-        #: like Linux's migrate-type grouping, kernel-style allocations are
-        #: clustered into dedicated 2 MiB blocks instead of splintering
-        #: movable regions, so noise destroys few huge regions.
-        self._blocks: dict[int, list[int]] = {}
+        #: Current "unmovable pageblock" per arena, keyed by a stable arena
+        #: tag (``("host",)`` or ``("guest", vm_id)`` — NOT ``id(memory)``,
+        #: which changes across pickling and would break serial/parallel
+        #: determinism for cluster host stepping): like Linux's
+        #: migrate-type grouping, kernel-style allocations are clustered
+        #: into dedicated 2 MiB blocks instead of splintering movable
+        #: regions, so noise destroys few huge regions.
+        self._blocks: dict[tuple, list[int]] = {}
         #: Transient allocations: short-lived objects (stack pages, network
         #: buffers, slab churn) that briefly claim the next free frame and
         #: release it a few faults later.  They do not occupy memory for
         #: long, but they shift the phase of the workload's sequential
         #: allocation stream — the entropy that makes naive policies'
         #: physical layouts mis-aligned "largely by chance" (Section 2.3).
-        self._transient: dict[int, list[int]] = {}
+        self._transient: dict[tuple, list[int]] = {}
         self.transient_hold = 24
         #: Pre-drawn per-fault gate bits (True = this fault triggers noise),
         #: in fault order.  :meth:`act_horizon` fills the queue so batched
@@ -110,13 +113,27 @@ class NoiseAgent:
         if not acts:
             return
         self.allocations += 1
-        self._noise_alloc(vm.gpa_space, self._guest_held.setdefault(vm.id, []))
-        self._noise_alloc(self.platform.memory, self._host_held)
-        self._transient_alloc(vm.gpa_space)
-        self._transient_alloc(self.platform.memory)
+        guest_key = ("guest", vm.id)
+        self._noise_alloc(
+            vm.gpa_space, guest_key, self._guest_held.setdefault(vm.id, [])
+        )
+        self._noise_alloc(self.platform.memory, ("host",), self._host_held)
+        self._transient_alloc(vm.gpa_space, guest_key)
+        self._transient_alloc(self.platform.memory, ("host",))
 
-    def _transient_alloc(self, memory) -> None:
-        fifo = self._transient.setdefault(id(memory), [])
+    def forget_vm(self, vm_id: int) -> None:
+        """Drop per-VM noise state when the VM leaves this platform.
+
+        The held guest frames live inside the VM's own guest-physical
+        space, which travels with it, so they are simply forgotten (not
+        freed) here.
+        """
+        self._guest_held.pop(vm_id, None)
+        self._blocks.pop(("guest", vm_id), None)
+        self._transient.pop(("guest", vm_id), None)
+
+    def _transient_alloc(self, memory, key: tuple) -> None:
+        fifo = self._transient.setdefault(key, [])
         try:
             fifo.append(memory.alloc(0))
         except AllocationError:
@@ -124,8 +141,8 @@ class NoiseAgent:
         while len(fifo) > self.transient_hold:
             memory.free(fifo.pop(0), 0)
 
-    def _noise_alloc(self, memory, held: list[int]) -> None:
-        frame = self._alloc_clustered(memory)
+    def _noise_alloc(self, memory, key: tuple, held: list[int]) -> None:
+        frame = self._alloc_clustered(memory, key)
         if frame is not None:
             held.append(frame)
         # Free a random earlier object with probability free_fraction:
@@ -134,9 +151,9 @@ class NoiseAgent:
             index = self._rng.randrange(len(held))
             memory.free(held.pop(index), 0)
 
-    def _alloc_clustered(self, memory) -> int | None:
+    def _alloc_clustered(self, memory, key: tuple) -> int | None:
         """Allocate one frame from the arena's current unmovable block."""
-        block = self._blocks.get(id(memory), [])
+        block = self._blocks.get(key, [])
         if not block:
             # Claim a fresh pageblock for unmovable allocations; fall back
             # to single-frame allocation when no whole block is free.
@@ -151,7 +168,7 @@ class NoiseAgent:
                     return None
             block = list(range(start, start + PAGES_PER_HUGE))
         frame = block.pop(0)
-        self._blocks[id(memory)] = block
+        self._blocks[key] = block
         return frame
 
     @property

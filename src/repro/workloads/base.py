@@ -104,7 +104,10 @@ class Workload:
     * ``reports_latency`` — whether the application reports request
       latencies (TailBench-style servers do, PARSEC/NPB jobs do not);
     * ``zero_page_dedup_rate`` — copy-on-write faults per operation when
-      running under a policy that deduplicates zero pages (HawkEye).
+      running under a policy that deduplicates zero pages (HawkEye);
+    * ``dirty_fraction`` — the share of the resident set written per
+      pre-copy round; live migration's round count derives from it (a
+      write-heavy workload re-dirties more pages between copy rounds).
     """
 
     name = "workload"
@@ -115,6 +118,8 @@ class Workload:
     accesses_per_epoch = 2_000_000.0
     ops_per_epoch = 20_000.0
     default_epochs = 16
+    footprint_mib = 64.0
+    dirty_fraction = 0.2
 
     def setup(self, ctx: WorkloadContext) -> None:
         """Initial allocations, before the first epoch."""

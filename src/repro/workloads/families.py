@@ -29,6 +29,10 @@ def _mib_to_pages(mib: float) -> int:
 class StaticArrayWorkload(Workload):
     """Big static arrays, faulted up front, accessed uniformly."""
 
+    #: Read-mostly dense scans: little of the resident set is re-dirtied
+    #: between pre-copy rounds, so such VMs migrate in few rounds.
+    dirty_fraction = 0.05
+
     def __init__(
         self,
         name: str,
@@ -64,6 +68,10 @@ class StaticArrayWorkload(Workload):
 
 class DynamicChurnWorkload(Workload):
     """Gradually-grown footprint with continuous free/reallocate churn."""
+
+    #: Store-heavy dynamic structures keep re-dirtying their hot set, so
+    #: pre-copy converges slowly and migration costs more.
+    dirty_fraction = 0.35
 
     def __init__(
         self,

@@ -1,0 +1,108 @@
+"""Tests for the placement policy registry and decision rules."""
+
+import pytest
+
+from repro.cluster.host import HostView
+from repro.cluster.placement import (
+    PLACEMENTS,
+    AlignmentAwarePlacement,
+    make_placement,
+    placement_names,
+)
+
+
+def view(
+    index,
+    available=10_000,
+    aligned_free=0,
+    largest=0,
+    misaligned=0,
+    residents=(),
+):
+    return HostView(
+        index=index,
+        total_pages=131_072,
+        free_pages=available,
+        available_pages=available,
+        aligned_free_pages=aligned_free,
+        largest_free_region=largest,
+        misaligned_huge=misaligned,
+        residents=tuple(residents),
+    )
+
+
+def test_registry_names_and_factory():
+    assert set(placement_names()) == {
+        "first-fit",
+        "best-fit",
+        "worst-fit",
+        "contiguity-fit",
+        "alignment-aware",
+    }
+    for name in placement_names():
+        assert make_placement(name).name == name
+    assert PLACEMENTS["first-fit"]().name == "first-fit"
+
+
+def test_unknown_placement_raises():
+    with pytest.raises(ValueError, match="unknown placement"):
+        make_placement("nope")
+
+
+def test_infeasible_hosts_are_filtered():
+    views = [view(0, available=100), view(1, available=5_000)]
+    assert make_placement("first-fit").select(views, 1_000) == 1
+    assert make_placement("first-fit").select(views, 50_000) is None
+
+
+def test_exclusion_removes_source_host():
+    views = [view(0), view(1)]
+    policy = make_placement("first-fit")
+    assert policy.select(views, 100, exclude=frozenset({0})) == 1
+    assert policy.select(views, 100, exclude=frozenset({0, 1})) is None
+
+
+def test_first_fit_prefers_lowest_index():
+    views = [view(2), view(0), view(1)]
+    assert make_placement("first-fit").select(views, 100) == 0
+
+
+def test_best_and_worst_fit():
+    views = [view(0, available=9_000), view(1, available=2_000), view(2, available=5_000)]
+    assert make_placement("best-fit").select(views, 1_000) == 1
+    assert make_placement("worst-fit").select(views, 1_000) == 0
+
+
+def test_contiguity_fit_prefers_largest_hole():
+    views = [view(0, largest=512), view(1, largest=4_096), view(2, largest=1_024)]
+    assert make_placement("contiguity-fit").select(views, 100) == 1
+
+
+def test_alignment_aware_spreads_contention_first():
+    # Host 1 has more aligned capacity but already runs a tenant; the
+    # per-host coalescing budgets make the empty host the better bet.
+    views = [
+        view(0, aligned_free=20_000),
+        view(1, aligned_free=60_000, residents=((7, 512),)),
+    ]
+    assert make_placement("alignment-aware").select(views, 100) == 0
+
+
+def test_alignment_aware_breaks_ties_by_aligned_capacity():
+    views = [view(0, aligned_free=10_000), view(1, aligned_free=30_000)]
+    assert make_placement("alignment-aware").select(views, 100) == 1
+
+
+def test_alignment_aware_penalizes_standing_misalignment():
+    penalty = AlignmentAwarePlacement.misaligned_penalty_pages
+    views = [
+        view(0, aligned_free=10_000, misaligned=0),
+        view(1, aligned_free=10_000 + penalty, misaligned=2),
+    ]
+    assert make_placement("alignment-aware").select(views, 100) == 0
+
+
+def test_ties_break_to_lowest_index():
+    views = [view(1), view(0)]
+    for name in placement_names():
+        assert make_placement(name).select(views, 100) == 0

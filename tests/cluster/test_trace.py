@@ -1,0 +1,81 @@
+"""Tests for the seeded VM churn trace generator."""
+
+from dataclasses import replace
+
+from repro.cluster.config import ChurnConfig, ClusterConfig
+from repro.cluster.trace import build_trace
+from repro.workloads import make_workload
+
+
+def _config(**kwargs):
+    kwargs.setdefault("epochs", 12)
+    return ClusterConfig(hosts=4, host_mib=512, **kwargs)
+
+
+def test_same_seed_same_trace():
+    assert build_trace(_config(seed=9)) == build_trace(_config(seed=9))
+
+
+def test_different_seed_different_trace():
+    assert build_trace(_config(seed=9)) != build_trace(_config(seed=10))
+
+
+def test_initial_vms_arrive_at_epoch_zero():
+    config = _config()
+    first = [e for e in build_trace(config) if e.epoch == 0]
+    assert len(first) >= config.churn.initial_vms
+    assert all(e.kind == "arrive" for e in first)
+
+
+def test_ordinals_are_unique_and_arrive_first():
+    trace = build_trace(_config())
+    arrivals = [e.ordinal for e in trace if e.kind == "arrive"]
+    assert len(arrivals) == len(set(arrivals))
+    born = {}
+    for event in trace:
+        if event.kind == "arrive":
+            born[event.ordinal] = event.epoch
+        else:
+            # Operations only target live VMs, never in the arrival epoch
+            # (the grace epoch: a VM runs at least once before churn).
+            assert event.ordinal in born
+            assert event.epoch > born[event.ordinal]
+
+
+def test_departed_vms_stay_gone():
+    trace = build_trace(_config(epochs=20, seed=3))
+    departed = set()
+    for event in trace:
+        assert event.ordinal not in departed
+        if event.kind == "depart":
+            departed.add(event.ordinal)
+    assert departed, "departure rate should retire some VMs in 20 epochs"
+
+
+def test_live_population_respects_max_vms():
+    churn = ChurnConfig(initial_vms=8, arrivals_per_epoch=3.0, max_vms=10)
+    config = _config(epochs=20, churn=churn)
+    live = 0
+    for event in build_trace(config):
+        if event.kind == "arrive":
+            live += 1
+        elif event.kind == "depart":
+            live -= 1
+        assert live <= churn.max_vms
+
+
+def test_guest_size_covers_workload_footprint():
+    config = _config(epochs=16)
+    for event in build_trace(config):
+        if event.kind != "arrive":
+            continue
+        footprint = make_workload(event.workload).footprint_mib
+        assert event.guest_mib >= 2 * int(footprint)
+
+
+def test_resize_events_carry_fraction():
+    churn = replace(ClusterConfig().churn, resize_rate=0.5)
+    trace = build_trace(_config(epochs=16, churn=churn))
+    resizes = [e for e in trace if e.kind == "resize"]
+    assert resizes
+    assert all(0.0 < e.delta_fraction for e in resizes)

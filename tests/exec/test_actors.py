@@ -1,0 +1,89 @@
+"""Tests for the sticky-state actor pool."""
+
+import pytest
+
+from repro.exec.actors import ActorPool
+
+
+def bump(state, amount):
+    state["n"] += amount
+    return state["n"]
+
+
+def read(state):
+    return state["n"]
+
+
+def boom(state):
+    raise RuntimeError("worker exploded")
+
+
+def _states(count=3):
+    return [{"n": index * 10} for index in range(count)]
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_apply_mutates_sticky_state(workers):
+    with ActorPool(workers) as pool:
+        pool.scatter(_states())
+        assert pool.apply(bump, 0, 5) == 5
+        assert pool.apply(bump, 0, 2) == 7  # state persisted across calls
+        assert pool.apply(read, 2) == 20
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_map_returns_state_order(workers):
+    with ActorPool(workers) as pool:
+        pool.scatter(_states())
+        results = pool.map(bump, [(1,), (2,), (3,)])
+        assert results == [1, 12, 23]
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_gather_returns_final_states(workers):
+    with ActorPool(workers) as pool:
+        pool.scatter(_states())
+        pool.map(bump, [(1,)] * 3)
+        assert pool.gather() == [{"n": 1}, {"n": 11}, {"n": 21}]
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_worker_exception_propagates(workers):
+    with ActorPool(workers) as pool:
+        pool.scatter(_states())
+        with pytest.raises(RuntimeError, match="worker exploded"):
+            pool.apply(boom, 1)
+
+
+def test_serial_fallback_is_local():
+    pool = ActorPool(1)
+    pool.scatter(_states())
+    assert pool.is_local
+    pool.close()
+
+
+def test_parallel_mode_forks_workers():
+    pool = ActorPool(2)
+    try:
+        pool.scatter(_states())
+        assert not pool.is_local
+    finally:
+        pool.close()
+
+
+def test_unpicklable_state_falls_back_to_local():
+    states = [{"n": 0, "fh": open(__file__)}]
+    pool = ActorPool(2)
+    try:
+        pool.scatter(states)
+        assert pool.is_local
+    finally:
+        states[0]["fh"].close()
+        pool.close()
+
+
+def test_close_is_idempotent():
+    pool = ActorPool(2)
+    pool.scatter(_states())
+    pool.close()
+    pool.close()

@@ -49,3 +49,36 @@ def test_experiment_fig16_small(capsys):
     out = capsys.readouterr().out
     assert "Figure 16" in out
     assert "EMA/HB" in out
+
+
+def test_cluster_command(capsys):
+    code = main([
+        "cluster", "--hosts", "2", "--host-mib", "512",
+        "--epochs", "4", "--seed", "7", "--check-invariants",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fleet: 2 hosts x 4 epochs" in out
+    assert "fleet FMFI" in out
+    assert "well-aligned rate" in out
+    assert "migrations" in out
+    assert "host0:" in out and "host1:" in out
+
+
+def test_cluster_placement_choices_enforced():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["cluster", "--placement", "not-a-policy"])
+
+
+def test_cluster_command_uses_cache(tmp_path, capsys):
+    argv = [
+        "cluster", "--hosts", "2", "--host-mib", "512", "--epochs", "3",
+        "--cache-dir", str(tmp_path),
+    ]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "1 results stored" in first
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert "1 hits" in second
+    assert first.splitlines()[:5] == second.splitlines()[:5]
