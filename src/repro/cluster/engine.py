@@ -12,13 +12,27 @@ One :class:`ClusterSimulation` drives N hosts epoch by epoch:
 3. every host steps one epoch.
 
 Hosts live on a :class:`~repro.exec.actors.ActorPool`: each host is owned
-by one worker for the whole run, so per-epoch traffic is just the step
-command out and the epoch's records plus a small
-:class:`~repro.cluster.host.HostView` back — the multi-megabyte host
-graphs never travel (except a migrating tenant, which is the point of a
-migration).  The controller makes every decision from the views, so
-serial (``workers=1``, hosts in-process) and parallel runs of the same
-seed produce identical results.
+by one worker for the whole run, so host graphs never travel (except a
+migrating tenant, which is the point of a migration).  On the **fused
+protocol** (``ClusterConfig.fused_epochs``, the default) per-epoch
+traffic collapses to one round-trip per worker: the controller decides
+the epoch's churn events up front — patching its own
+:class:`~repro.cluster.host.HostView` copies with the exact, locally
+computable effect of each arrival — and ships the event ops together
+with the step command as a single batch per worker.  Views come back as
+changed-field deltas, and per-epoch records stay spooled inside the
+workers, drained as one compressed blob every ``spool_epochs``.  The
+reference protocol (``fused_epochs=False``) keeps the original
+blocking-call-per-event shape selectable forever, and the two are
+bit-identical — as are serial (``workers=1``, hosts in-process) and
+parallel runs of the same seed, because the controller makes every
+decision from the views alone.
+
+When parallelism cannot win, the engine does not pay for it: fleets
+smaller than ``REPRO_MIN_PARALLEL`` hosts never spawn a pool (mirroring
+``run_cells``), single-core sandboxes drop to in-process hosts up front,
+and an adaptive first-epoch measurement retracts the pool when IPC
+overhead exceeds what parallel stepping can save.
 
 ``run_cluster`` wraps a run with the content-keyed result cache, exactly
 like ``run_cells`` does for single-host experiment cells.
@@ -28,26 +42,75 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict
+import os
+import time
+from dataclasses import asdict, replace
 
 from repro.cluster.config import ClusterConfig
-from repro.cluster.host import Host, HostView
+from repro.cluster.host import Host, HostView, apply_view_delta
 from repro.cluster.migration import build_record, migrate_in, migrate_out
 from repro.cluster.placement import make_placement
-from repro.cluster.results import FleetResult, HostEpochRecord, TenantEpochRecord
+from repro.cluster.results import (
+    FleetResult,
+    HostEpochRecord,
+    TenantEpochRecord,
+    decode_records,
+    encode_records,
+)
 from repro.cluster.trace import TraceEvent, build_trace
 from repro.exec.actors import ActorPool
 from repro.exec.cache import ResultCache, code_version
+from repro.exec.pool import min_parallel_threshold, resolve_workers
 from repro.mem.layout import MIB, PAGE_SIZE
 from repro.workloads import Workload, make_workload
 
-__all__ = ["ClusterSimulation", "fleet_key", "run_cluster"]
+__all__ = [
+    "DEFAULT_SPOOL_EPOCHS",
+    "MIN_PARALLEL_HOSTS",
+    "ClusterSimulation",
+    "fleet_key",
+    "run_cluster",
+]
+
+#: Smallest fleet worth a process pool: below this the per-epoch IPC and
+#: pool startup dominate what a handful of hosts can save by stepping
+#: concurrently.  ``REPRO_MIN_PARALLEL`` overrides (same env var
+#: ``run_cells`` honours for cells).
+MIN_PARALLEL_HOSTS = 4
+
+#: Epochs a worker spools records for between bulk drains.  Sized so one
+#: drain (tens of records per host, compressed) dwarfs pipe latency
+#: while keeping worker memory bounded; ``REPRO_SPOOL_EPOCHS`` or
+#: ``ClusterConfig.spool_epochs`` override.
+DEFAULT_SPOOL_EPOCHS = 8
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, "").strip())
+    except ValueError:
+        return default
+
+
+def _resolve_spool(config: ClusterConfig) -> int:
+    if config.spool_epochs is not None and config.spool_epochs > 0:
+        return config.spool_epochs
+    return max(1, _env_int("REPRO_SPOOL_EPOCHS", DEFAULT_SPOOL_EPOCHS))
+
+
+def _resolve_adaptive(config: ClusterConfig) -> bool:
+    raw = os.environ.get("REPRO_FLEET_ADAPTIVE", "").strip()
+    if raw:
+        return raw != "0"
+    return config.adaptive_parallel
 
 
 # ----------------------------------------------------------------------
 # Actor functions: run on the worker that owns the host.  Module-level so
-# the pool can pickle them by reference; each returns a fresh HostView so
-# the controller's picture stays current.
+# the pool can pickle them by reference.  The ``_act_*`` trio returning
+# fresh views is the reference protocol; the ``_queue_*`` variants return
+# nothing (the controller already knows, or will learn from the fused
+# step's view delta) so queued churn ops add no reply traffic.
 # ----------------------------------------------------------------------
 
 
@@ -56,26 +119,84 @@ def _act_step(
 ) -> tuple[list[HostEpochRecord], list[TenantEpochRecord], HostView]:
     host.step_epoch(epoch)
     host_records, tenant_records = host.drain_records()
-    return host_records, tenant_records, host.summary()
+    return host_records, tenant_records, host.publish_view()
 
 
 def _act_add_tenant(
     host: Host, ordinal: int, guest_mib: int, workload: Workload, epoch: int
 ) -> HostView:
     host.add_tenant(ordinal, guest_mib, workload, epoch)
-    return host.summary()
+    return host.publish_view()
 
 
 def _act_destroy_tenant(host: Host, ordinal: int) -> HostView:
     host.destroy_tenant(ordinal)
-    return host.summary()
+    return host.publish_view()
 
 
 def _act_resize_tenant(
     host: Host, ordinal: int, grow: bool, fraction: float
 ) -> HostView:
     host.resize_tenant(ordinal, grow, fraction)
-    return host.summary()
+    return host.publish_view()
+
+
+def _queue_add_tenant(
+    host: Host, ordinal: int, guest_mib: int, workload_name: str, epoch: int
+) -> None:
+    # The worker instantiates the workload from its registry name — a
+    # deterministic factory — so arrivals ship a short string instead of
+    # a pickled workload model.
+    host.add_tenant(ordinal, guest_mib, make_workload(workload_name), epoch)
+
+
+def _queue_destroy_tenant(host: Host, ordinal: int) -> None:
+    host.destroy_tenant(ordinal)
+
+
+def _queue_resize_tenant(
+    host: Host, ordinal: int, grow: bool, fraction: float
+) -> None:
+    host.resize_tenant(ordinal, grow, fraction)
+
+
+def _act_refresh_view(host: Host, deltas: bool) -> tuple:
+    return host.publish_view_payload(deltas)
+
+
+def _act_step_fused(host: Host, epoch: int, deltas: bool) -> tuple:
+    host.step_epoch(epoch)
+    return host.publish_view_payload(deltas)
+
+
+def _act_migrate_out_fused(
+    host: Host, ordinal: int, migration
+) -> tuple[tuple, tuple]:
+    """Source half for :meth:`ActorPool.transfer`: the tenant payload
+    goes straight to the destination worker; the controller gets only
+    the resident-set size, the copy schedule and the view."""
+    tenant, state, runs, schedule, view = migrate_out(host, ordinal, migration)
+    resident = sum(count for _, count in runs)
+    return (tenant, state, runs), (resident, schedule, view)
+
+
+def _act_migrate_in_fused(host: Host, payload: tuple, migration) -> HostView:
+    tenant, state, runs = payload
+    return migrate_in(host, tenant, state, runs, migration)
+
+
+def _drain_worker_spools(states: dict[int, Host], compress: bool) -> tuple:
+    """Per-worker epilogue: drain every owned host's record spool into
+    ONE encoded blob — records compress far better pooled than per host
+    (shared field names and layouts), and one transfer per worker beats
+    one per host."""
+    host_records = []
+    tenant_records = []
+    for index in sorted(states):
+        drained_hosts, drained_tenants = states[index].drain_records()
+        host_records.extend(drained_hosts)
+        tenant_records.extend(drained_tenants)
+    return encode_records(host_records, tenant_records, compress=compress)
 
 
 class ClusterSimulation:
@@ -91,14 +212,33 @@ class ClusterSimulation:
         self._events: dict[int, list[TraceEvent]] = {}
         for event in self.trace:
             self._events.setdefault(event.epoch, []).append(event)
-        #: The controller's picture of each host, refreshed by every
-        #: actor call; all placement/consolidation decisions read this.
+        #: The controller's picture of each host; all placement and
+        #: consolidation decisions read this.  Updated by every view the
+        #: workers publish, plus the controller's own exact patches for
+        #: queued arrivals on the fused protocol.
         self._views: list[HostView] = [host.summary() for host in self.hosts]
         #: ordinal -> index of the host currently running the VM.
         self._vm_host: dict[int, int] = {}
         #: ordinal -> guest size in pages (the commitment a migration
         #: must find room for).
         self._guest_pages: dict[int, int] = {}
+        #: Per-host committed pages and the committed==0 available-pages
+        #: baseline, so the controller can patch ``available_pages``
+        #: without a round-trip (the commitment model is controller
+        #: state, not host state).
+        self._committed = [0] * self.config.hosts
+        self._avail_base = [view.available_pages for view in self._views]
+        #: Spooled record chunks awaiting an ordered merge, as
+        #: ``(host_records, tenant_records)`` per drained host.
+        self._spooled: list[tuple] = []
+        self._spool_every = _resolve_spool(self.config)
+        #: Wire traffic per epoch (controller<->workers, both ways); all
+        #: zeros for in-process runs.  Diagnostics, deliberately kept off
+        #: the (serial==parallel comparable) FleetResult.
+        self.ipc_bytes_epochs: list[int] = []
+        #: Bulk bytes moved over direct worker-to-worker pipes (fused
+        #: migrations) — the data plane the controller never serialises.
+        self.ipc_peer_bytes = 0
         self.result = FleetResult(
             system=self.config.system,
             placement=self.config.placement,
@@ -107,40 +247,257 @@ class ClusterSimulation:
             seed=self.config.seed,
         )
 
+    @property
+    def ipc_bytes_per_epoch(self) -> float:
+        """Mean controller<->worker bytes per epoch of the last run."""
+        if not self.ipc_bytes_epochs:
+            return 0.0
+        return sum(self.ipc_bytes_epochs) / len(self.ipc_bytes_epochs)
+
     # ------------------------------------------------------------------
     # Run loop
     # ------------------------------------------------------------------
 
     def run(self, workers: int | None = None) -> FleetResult:
         """Run all epochs; *workers* > 1 steps hosts on a process pool."""
-        consolidation = self.config.consolidation
-        pool = ActorPool(workers)
+        config = self.config
+        adaptive = _resolve_adaptive(config)
+        pool = ActorPool(
+            self._effective_workers(workers, adaptive),
+            compress_wire=config.wire_compression,
+        )
         pool.scatter(self.hosts)
+        self._spool_every = _resolve_spool(config)
+        self.ipc_bytes_epochs = []
         try:
-            for epoch in range(self.config.epochs):
-                self._apply_events(pool, epoch)
-                if (
-                    consolidation.every > 0
-                    and epoch > 0
-                    and epoch % consolidation.every == 0
-                ):
-                    self._consolidate(pool, epoch)
-                outputs = pool.map(
-                    _act_step, [(epoch,)] * len(self.hosts)
+            for epoch in range(config.epochs):
+                pool.drain_window.clear()
+                bytes_before = pool.bytes_sent + pool.bytes_received
+                started = time.perf_counter()
+                if config.fused_epochs:
+                    self._epoch_fused(pool, epoch)
+                else:
+                    self._epoch_reference(pool, epoch)
+                wall = time.perf_counter() - started
+                self.ipc_bytes_epochs.append(
+                    pool.bytes_sent + pool.bytes_received - bytes_before
                 )
-                for host_records, tenant_records, view in outputs:
-                    self.result.host_epochs.extend(host_records)
-                    self.result.tenant_epochs.extend(tenant_records)
-                    self._views[view.index] = view
+                if (
+                    epoch == 0
+                    and adaptive
+                    and not pool.is_local
+                    and self._parallel_cannot_win(pool, wall)
+                ):
+                    pool.retract()
             # Bring the final host states home so callers can inspect
             # them the same way after serial and parallel runs.
+            self.ipc_peer_bytes = pool.peer_bytes
             self.hosts = pool.gather()
         finally:
             pool.close()
         return self.result
 
+    def _effective_workers(self, workers: int | None, adaptive: bool) -> int:
+        workers = resolve_workers(workers)
+        if workers <= 1:
+            return workers
+        # Tiny fleets never spawn a pool at all: per-epoch IPC plus pool
+        # startup dominates what so few hosts can overlap (the fleet
+        # analogue of run_cells' MIN_PARALLEL_CELLS gate).
+        if len(self.hosts) < min_parallel_threshold(MIN_PARALLEL_HOSTS):
+            return 1
+        # Nothing to overlap with: a single-core sandbox timeshares the
+        # workers and pays the IPC on top.
+        if adaptive and (os.cpu_count() or 1) < 2:
+            return 1
+        return workers
+
+    def _parallel_cannot_win(self, pool: ActorPool, wall: float) -> bool:
+        """First-epoch measurement: does IPC overhead eat the overlap?
+
+        Comparing the epoch's wall-clock against the workers' summed
+        compute answers whether this (machine, fleet, protocol) triple
+        can beat the in-process loop: parallel wins only while the
+        overhead beyond the critical path stays below the compute it
+        takes off the controller's thread.
+        """
+        ideal = sum(stats.ideal_parallel for stats in pool.drain_window)
+        serial = sum(stats.serial_estimate for stats in pool.drain_window)
+        return wall - ideal >= serial - ideal
+
     # ------------------------------------------------------------------
-    # Churn events
+    # Fused protocol: one round-trip per worker per epoch
+    # ------------------------------------------------------------------
+
+    def _epoch_fused(self, pool: ActorPool, epoch: int) -> None:
+        consolidation = self.config.consolidation
+        consolidating = (
+            consolidation.every > 0
+            and epoch > 0
+            and epoch % consolidation.every == 0
+        )
+        deltas = self.config.view_deltas
+        ops: list[tuple] = []
+        arrivals: list[TraceEvent] = []
+        # Trace order within an epoch is departures, resizes, then
+        # arrivals — so arrivals (the only events whose *decision* reads
+        # views) always come after the ops queued here.
+        for event in self._events.get(epoch, ()):
+            if event.kind == "arrive":
+                arrivals.append(event)
+                continue
+            if event.ordinal not in self._vm_host:
+                continue
+            index = self._vm_host[event.ordinal]
+            if event.kind == "depart":
+                ops.append((index, _queue_destroy_tenant, (event.ordinal,)))
+                self._committed[index] -= self._guest_pages.pop(event.ordinal)
+                del self._vm_host[event.ordinal]
+            else:
+                ops.append((
+                    index,
+                    _queue_resize_tenant,
+                    (event.ordinal, event.grow, event.delta_fraction),
+                ))
+        if ops and (arrivals or consolidating):
+            # Departures and resizes change host state in ways only the
+            # hosts know (freed frames, buddy contiguity), so the views
+            # placement and consolidation are about to read must be
+            # refreshed — one round-trip for all queued ops plus one
+            # view payload per touched host.
+            self._flush(pool, ops, deltas)
+            ops = []
+        for event in arrivals:
+            self._queue_arrival(event, epoch, ops)
+        if consolidating:
+            if ops:
+                # Arrivals must land before migrations may move them
+                # (and the reference protocol consolidates after all
+                # events); their view effect is already patched in, so
+                # no refresh is needed.
+                pool.submit(ops)
+                pool.drain()
+                ops = []
+            self._consolidate(pool, epoch)
+        drain_spool = (
+            (epoch + 1) % self._spool_every == 0
+            or epoch == self.config.epochs - 1
+        )
+        step_args = (epoch, deltas)
+        for index in range(len(self.hosts)):
+            ops.append((index, _act_step_fused, step_args))
+        pool.submit(
+            ops,
+            each_worker=(
+                (_drain_worker_spools, (not pool.is_local,))
+                if drain_spool
+                else None
+            ),
+        )
+        outputs = pool.drain()
+        for view_payload in outputs[len(ops) - len(self.hosts):]:
+            self._ingest_view(view_payload)
+        if drain_spool:
+            for spool in pool.extras:
+                self._spooled.append(decode_records(spool))
+            self._merge_spooled()
+
+    def _flush(self, pool: ActorPool, ops: list[tuple], deltas: bool) -> None:
+        """Run queued ops and refresh the views of every touched host."""
+        touched = sorted({index for index, _, _ in ops})
+        pool.submit(
+            ops + [(index, _act_refresh_view, (deltas,)) for index in touched]
+        )
+        for payload in pool.drain()[len(ops):]:
+            self._ingest_view(payload)
+
+    def _queue_arrival(
+        self, event: TraceEvent, epoch: int, ops: list[tuple]
+    ) -> None:
+        # Reserve the full guest size, not the workload footprint: guest
+        # munmap never returns host frames (Section 6.3), so a VM's host
+        # usage grows toward its guest size over its lifetime.  RAM is
+        # not overcommitted, as on real clouds.
+        guest_pages = event.guest_mib * MIB // PAGE_SIZE
+        needed = int(guest_pages * self.config.placement_headroom)
+        index = self.placement.select(self._views, needed)
+        if index is None:
+            self.result.placement_failures += 1
+            return
+        ops.append((
+            index,
+            _queue_add_tenant,
+            (event.ordinal, event.guest_mib, event.workload, epoch),
+        ))
+        self._vm_host[event.ordinal] = index
+        self._guest_pages[event.ordinal] = guest_pages
+        self._committed[index] += guest_pages
+        # Patch the controller's view with the exact effect of the
+        # queued add, so later decisions in this epoch see what a
+        # blocking round-trip would have returned: adding a tenant only
+        # shrinks committed capacity and registers an (empty) resident
+        # set — it allocates nothing — which the fused-vs-reference
+        # equivalence test pins down.
+        view = self._views[index]
+        self._views[index] = replace(
+            view,
+            available_pages=self._avail_base[index]
+            - int(self._committed[index] * self.config.placement_headroom),
+            residents=tuple(sorted(view.residents + ((event.ordinal, 0),))),
+        )
+
+    def _ingest_view(self, payload: tuple) -> None:
+        if payload[0] == "full":
+            view = payload[1]
+        else:
+            _, index, mask, values = payload
+            view = apply_view_delta(self._views[index], mask, values)
+        self._views[view.index] = view
+
+    def _merge_spooled(self) -> None:
+        """Append drained records in the reference protocol's order.
+
+        Hosts drain in index order and keep their records in generation
+        order, so a stable sort by ``(epoch, host)`` reproduces exactly
+        the order the per-epoch protocol appends in: epoch-major,
+        host-minor, generation order within.
+        """
+        if not self._spooled:
+            return
+        host_records: list[HostEpochRecord] = []
+        tenant_records: list[TenantEpochRecord] = []
+        for drained_hosts, drained_tenants in self._spooled:
+            host_records.extend(drained_hosts)
+            tenant_records.extend(drained_tenants)
+        self._spooled = []
+        host_records.sort(key=lambda record: (record.epoch, record.host))
+        tenant_records.sort(key=lambda record: (record.epoch, record.host))
+        self.result.host_epochs.extend(host_records)
+        self.result.tenant_epochs.extend(tenant_records)
+
+    # ------------------------------------------------------------------
+    # Reference protocol: one blocking call per event, records and full
+    # views every epoch.  Kept selectable forever as the semantic anchor
+    # the fused path must stay bit-identical to.
+    # ------------------------------------------------------------------
+
+    def _epoch_reference(self, pool: ActorPool, epoch: int) -> None:
+        consolidation = self.config.consolidation
+        self._apply_events(pool, epoch)
+        if (
+            consolidation.every > 0
+            and epoch > 0
+            and epoch % consolidation.every == 0
+        ):
+            self._consolidate(pool, epoch)
+        outputs = pool.map(_act_step, [(epoch,)] * len(self.hosts))
+        for host_records, tenant_records, view in outputs:
+            self.result.host_epochs.extend(host_records)
+            self.result.tenant_epochs.extend(tenant_records)
+            self._views[view.index] = view
+
+    # ------------------------------------------------------------------
+    # Churn events (reference protocol)
     # ------------------------------------------------------------------
 
     def _apply_events(self, pool: ActorPool, epoch: int) -> None:
@@ -151,8 +508,10 @@ class ClusterSimulation:
                 index = self._vm_host[event.ordinal]
                 if event.kind == "depart":
                     view = pool.apply(_act_destroy_tenant, index, event.ordinal)
+                    self._committed[index] -= self._guest_pages.pop(
+                        event.ordinal
+                    )
                     del self._vm_host[event.ordinal]
-                    del self._guest_pages[event.ordinal]
                 else:
                     view = pool.apply(
                         _act_resize_tenant,
@@ -164,10 +523,6 @@ class ClusterSimulation:
                 self._views[index] = view
 
     def _arrive(self, pool: ActorPool, event: TraceEvent, epoch: int) -> None:
-        # Reserve the full guest size, not the workload footprint: guest
-        # munmap never returns host frames (Section 6.3), so a VM's host
-        # usage grows toward its guest size over its lifetime.  RAM is
-        # not overcommitted, as on real clouds.
         guest_pages = event.guest_mib * MIB // PAGE_SIZE
         needed = int(guest_pages * self.config.placement_headroom)
         index = self.placement.select(self._views, needed)
@@ -180,6 +535,7 @@ class ClusterSimulation:
         )
         self._vm_host[event.ordinal] = index
         self._guest_pages[event.ordinal] = guest_pages
+        self._committed[index] += guest_pages
 
     # ------------------------------------------------------------------
     # Consolidation (OpenStack-Neat-style: overload shedding, then
@@ -228,24 +584,53 @@ class ClusterSimulation:
         if destination is None:
             return False
         migration = self.config.migration
-        tenant, state, runs, schedule, src_view = pool.apply(
-            migrate_out, source, ordinal, migration
-        )
-        self._views[source] = src_view
-        self._views[destination] = pool.apply(
-            migrate_in, destination, tenant, state, runs, migration
-        )
-        self.result.migrations.append(
-            build_record(
-                epoch=epoch,
-                ordinal=ordinal,
-                source=source,
-                destination=destination,
-                reason=reason,
-                runs=runs,
-                schedule=schedule,
+        if self.config.fused_epochs:
+            # Data-plane migration: the tenant graph moves worker-to-
+            # worker; the controller sees two commands and two compact
+            # replies.
+            (resident, schedule, src_view), dst_view = pool.transfer(
+                source,
+                destination,
+                _act_migrate_out_fused,
+                (ordinal, migration),
+                _act_migrate_in_fused,
+                (migration,),
             )
-        )
+            self._views[source] = src_view
+            self._views[destination] = dst_view
+            self.result.migrations.append(
+                build_record(
+                    epoch=epoch,
+                    ordinal=ordinal,
+                    source=source,
+                    destination=destination,
+                    reason=reason,
+                    schedule=schedule,
+                    resident_pages=resident,
+                )
+            )
+        else:
+            tenant, state, runs, schedule, src_view = pool.apply(
+                migrate_out, source, ordinal, migration
+            )
+            self._views[source] = src_view
+            self._views[destination] = pool.apply(
+                migrate_in, destination, tenant, state, runs, migration
+            )
+            self.result.migrations.append(
+                build_record(
+                    epoch=epoch,
+                    ordinal=ordinal,
+                    source=source,
+                    destination=destination,
+                    reason=reason,
+                    schedule=schedule,
+                    runs=runs,
+                )
+            )
+        guest_pages = self._guest_pages[ordinal]
+        self._committed[source] -= guest_pages
+        self._committed[destination] += guest_pages
         self._vm_host[ordinal] = destination
         return True
 
@@ -254,18 +639,33 @@ class ClusterSimulation:
 # Cached entry point
 # ----------------------------------------------------------------------
 
+#: ClusterConfig fields that select bit-identical execution strategies;
+#: excluded from the content key so every combination shares cache
+#: entries (enforced by the protocol-equivalence tests).
+EXECUTION_STRATEGY_FIELDS = (
+    "batch_faults",
+    "incremental_index",
+    "fused_epochs",
+    "view_deltas",
+    "spool_epochs",
+    "adaptive_parallel",
+    "wire_compression",
+)
+
 
 def fleet_key(config: ClusterConfig) -> str:
     """Content key of one fleet run: same key == same result.
 
-    Like :func:`repro.exec.cache.cell_key`, the two bit-identical fast
-    paths (``batch_faults``, ``incremental_index``) are excluded so all
-    settings share cache entries, and the code version is folded in so
-    editing the simulator invalidates stale results.
+    Like :func:`repro.exec.cache.cell_key`, the bit-identical fast-path
+    knobs (:data:`EXECUTION_STRATEGY_FIELDS` — fault batching, the
+    incremental index, and the fused IPC protocol's fusion/delta/spool/
+    adaptive switches) are excluded so all settings share cache entries,
+    and the code version is folded in so editing the simulator
+    invalidates stale results.
     """
     payload = asdict(config)
-    payload.pop("batch_faults", None)
-    payload.pop("incremental_index", None)
+    for field_name in EXECUTION_STRATEGY_FIELDS:
+        payload.pop(field_name, None)
     raw = json.dumps(
         {"cluster": payload, "code": code_version()},
         sort_keys=True,

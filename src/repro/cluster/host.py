@@ -17,10 +17,14 @@ cannot drift apart.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 from typing import TYPE_CHECKING
 
-from repro.cluster.results import HostEpochRecord, TenantEpochRecord
+from repro.cluster.results import (
+    HostEpochRecord,
+    TenantEpochRecord,
+    encode_records,
+)
 from repro.core.runtime import GeminiRuntime
 from repro.hypervisor.balloon import BalloonDriver
 from repro.hypervisor.platform import Platform
@@ -39,7 +43,14 @@ from repro.workloads.base import Workload, WorkloadContext
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.config import ClusterConfig
 
-__all__ = ["Host", "HostView", "Tenant", "resident_pages", "resident_runs"]
+__all__ = [
+    "Host",
+    "HostView",
+    "Tenant",
+    "apply_view_delta",
+    "resident_pages",
+    "resident_runs",
+]
 
 
 def resident_runs(vm: VM) -> list[tuple[int, int]]:
@@ -106,6 +117,29 @@ class HostView:
     @property
     def utilization(self) -> float:
         return 1.0 - self.free_pages / self.total_pages
+
+
+#: Fields a view delta may carry (``index`` identifies, never changes).
+#: Deltas address them by position — a bitmask and a value tuple — so no
+#: field-name strings ever cross the pipe.
+_VIEW_FIELDS = tuple(
+    f.name for f in fields(HostView) if f.name != "index"
+)
+
+
+def apply_view_delta(base: HostView, mask: int, values: tuple) -> HostView:
+    """Rebuild a full view from *base* plus a changed-fields delta.
+
+    Bit *i* of *mask* says field ``_VIEW_FIELDS[i]`` changed; *values*
+    holds the new values of exactly the set bits, in field order.
+    """
+    changed = {}
+    position = 0
+    for bit, name in enumerate(_VIEW_FIELDS):
+        if mask >> bit & 1:
+            changed[name] = values[position]
+            position += 1
+    return replace(base, **changed)
 
 
 @dataclass
@@ -177,9 +211,14 @@ class Host:
         self._last_misses = 0.0
         self._host_snapshot = self.platform.host.ledger.snapshot()
         # Records accumulate here (also while stepping inside a worker
-        # process) and are drained by the engine after every epoch.
+        # process) and are drained by the engine — every epoch on the
+        # reference protocol, every ``spool_epochs`` on the fused one.
         self._tenant_records: list[TenantEpochRecord] = []
         self._host_records: list[HostEpochRecord] = []
+        #: The last view shipped to the controller — the shared baseline
+        #: view deltas are encoded against.  Lives on the host so it
+        #: travels with it (worker processes, adaptive retraction).
+        self._view_baseline: HostView | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -235,10 +274,49 @@ class Host:
             ),
         )
 
+    def publish_view(self) -> HostView:
+        """A full view for the controller, recorded as the new baseline.
+
+        Every view that crosses to the controller goes through here or
+        :meth:`publish_view_payload`, so the host-side baseline always
+        matches the last view the controller decoded — the invariant the
+        delta encoding rests on.
+        """
+        view = self.summary()
+        self._view_baseline = view
+        return view
+
+    def publish_view_payload(self, deltas: bool = True) -> tuple:
+        """Encode the current view for the wire.
+
+        ``("full", view)`` on the first publish (or with *deltas* off),
+        ``("d", index, mask, values)`` afterwards — only fields that
+        changed since the last published view travel, addressed by a
+        position bitmask rather than name strings, and the controller
+        rebuilds the full view with :func:`apply_view_delta`.
+        """
+        base = self._view_baseline
+        view = self.publish_view()
+        if not deltas or base is None:
+            return ("full", view)
+        mask = 0
+        values = []
+        for bit, name in enumerate(_VIEW_FIELDS):
+            value = getattr(view, name)
+            if value != getattr(base, name):
+                mask |= 1 << bit
+                values.append(value)
+        return ("d", view.index, mask, tuple(values))
+
     def drain_records(self) -> tuple[list[HostEpochRecord], list[TenantEpochRecord]]:
         host_records, self._host_records = self._host_records, []
         tenant_records, self._tenant_records = self._tenant_records, []
         return host_records, tenant_records
+
+    def drain_spool(self, compress: bool = True) -> tuple:
+        """Drain accumulated records as one wire blob (fused protocol)."""
+        host_records, tenant_records = self.drain_records()
+        return encode_records(host_records, tenant_records, compress=compress)
 
     # ------------------------------------------------------------------
     # Tenant lifecycle

@@ -120,7 +120,9 @@ def migrate_out(
             raise MigrationInvariantError(
                 f"host{host.index}: vm{vm.id}'s source frames were not freed"
             )
-    return tenant, state, runs, schedule, host.summary()
+    # Migrations are rare: ship a full view, which also re-baselines the
+    # host's delta encoding for the next fused step.
+    return tenant, state, runs, schedule, host.publish_view()
 
 
 def migrate_in(
@@ -150,7 +152,7 @@ def migrate_in(
                     layer.fault(vm.id, gpn, full_region=True)
     if config.check_invariants:
         _check_destination(host, tenant, runs)
-    return host.summary()
+    return host.publish_view()
 
 
 def _check_destination(
@@ -220,10 +222,18 @@ def build_record(
     source: int,
     destination: int,
     reason: str,
-    runs: list[tuple[int, int]],
     schedule: tuple[int, int, int],
+    runs: list[tuple[int, int]] | None = None,
+    resident_pages: int | None = None,
 ) -> MigrationRecord:
-    """Assemble the accounting record for one migration."""
+    """Assemble the accounting record for one migration.
+
+    The resident-set size comes from *runs* or directly from
+    *resident_pages* — the fused cluster protocol ships only the sum, so
+    the (possibly long) run list never crosses back to the controller.
+    """
+    if resident_pages is None:
+        resident_pages = sum(count for _, count in runs or [])
     rounds, copied, downtime = schedule
     return MigrationRecord(
         epoch=epoch,
@@ -231,7 +241,7 @@ def build_record(
         source=source,
         destination=destination,
         reason=reason,
-        resident_pages=sum(count for _, count in runs),
+        resident_pages=resident_pages,
         rounds=rounds,
         copied_pages=copied,
         downtime_pages=downtime,

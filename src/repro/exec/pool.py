@@ -25,7 +25,12 @@ from repro.exec.cache import ResultCache, cell_key
 from repro.exec.cells import Cell, execute_cell
 from repro.sim.results import RunResult
 
-__all__ = ["MIN_PARALLEL_CELLS", "resolve_workers", "run_cells"]
+__all__ = [
+    "MIN_PARALLEL_CELLS",
+    "min_parallel_threshold",
+    "resolve_workers",
+    "run_cells",
+]
 
 #: Smallest batch worth a process pool.  Spinning up the pool (fork,
 #: executor bookkeeping, result pickling) costs on the order of a second,
@@ -36,12 +41,21 @@ __all__ = ["MIN_PARALLEL_CELLS", "resolve_workers", "run_cells"]
 MIN_PARALLEL_CELLS = 8
 
 
-def _min_parallel() -> int:
+def min_parallel_threshold(default: int = MIN_PARALLEL_CELLS) -> int:
+    """Smallest batch worth a pool: ``REPRO_MIN_PARALLEL`` env > *default*.
+
+    Shared by ``run_cells`` (cells per batch) and the cluster engine
+    (hosts per fleet), so one env var tunes both serial-fallback gates.
+    """
     raw = os.environ.get("REPRO_MIN_PARALLEL", "").strip()
     try:
         return int(raw)
     except ValueError:
-        return MIN_PARALLEL_CELLS
+        return default
+
+
+def _min_parallel() -> int:
+    return min_parallel_threshold(MIN_PARALLEL_CELLS)
 
 
 def resolve_workers(workers: int | None = None) -> int:

@@ -20,6 +20,7 @@ __all__ = [
     "matrix_to_markdown",
     "series_to_csv",
     "format_cache_stats",
+    "format_bench_fleet",
     "fleet_summary_rows",
     "fleet_to_markdown",
     "format_fleet_summary",
@@ -153,6 +154,43 @@ def fleet_to_markdown(result, title: str = "") -> str:
         f"| **fleet** | | | {result.fleet_fmfi:.4f} "
         f"| {result.fleet_well_aligned_rate:.3f} |"
     )
+    return "\n".join(lines)
+
+
+def format_bench_fleet(bench: dict) -> str:
+    """Markdown table of the fleet section of ``BENCH_perf.json``.
+
+    Rendered into the CI job summary by the perf-smoke workflow, so the
+    serial-versus-parallel trajectory is visible per run without digging
+    the JSON artifact out.  Returns an empty string when the report
+    carries no fleet section (old bench files).
+    """
+    fleet = bench.get("fleet")
+    if not fleet:
+        return ""
+    serial_s = fleet.get("serial_seconds", 0.0)
+    parallel_s = fleet.get("parallel_seconds", 0.0)
+    lines = [
+        f"**Fleet: {fleet.get('hosts', '?')} hosts x "
+        f"{fleet.get('epochs', '?')} epochs** "
+        f"({fleet.get('workers', '?')} workers, "
+        f"{fleet.get('cores', '?')} cores, "
+        f"adaptive mode: {fleet.get('parallel_mode', 'unknown')})",
+        "",
+        "| metric | serial | parallel |",
+        "|---|---|---|",
+        f"| wall clock | {serial_s:.2f} s | {parallel_s:.2f} s |",
+        f"| speedup | 1.00x "
+        f"| {fleet.get('speedup_parallel_vs_serial', 0.0):.2f}x |",
+        "",
+        "| controller IPC | bytes/epoch |",
+        "|---|---|",
+        f"| legacy per-event | {fleet.get('ipc_bytes_per_epoch_legacy', 0):,.0f} |",
+        f"| fused batches | {fleet.get('ipc_bytes_per_epoch_fused', 0):,.0f} |",
+        f"| **reduction** | **{fleet.get('ipc_reduction_factor', 0.0):,.1f}x** |",
+        f"| peer-pipe payloads (total) "
+        f"| {fleet.get('ipc_peer_bytes_fused', 0):,} |",
+    ]
     return "\n".join(lines)
 
 

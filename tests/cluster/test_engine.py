@@ -55,11 +55,85 @@ def test_zero_hosts_rejected():
         ClusterSimulation(ClusterConfig(hosts=0))
 
 
-def test_serial_and_parallel_runs_are_identical():
+def test_serial_and_parallel_runs_are_identical(monkeypatch):
     # The determinism contract: same seed, same results, any worker count.
-    serial = ClusterSimulation(SMALL).run(workers=1)
-    parallel = ClusterSimulation(SMALL).run(workers=2)
+    # SMALL has fewer hosts than the parallel threshold, so force the
+    # pool on to genuinely exercise the fused wire protocol.
+    monkeypatch.setenv("REPRO_MIN_PARALLEL", "1")
+    config = replace(SMALL, adaptive_parallel=False)
+    serial = ClusterSimulation(config).run(workers=1)
+    parallel = ClusterSimulation(config).run(workers=2)
     assert serial == parallel
+
+
+def test_fused_matches_reference_protocol():
+    # The fused single-round-trip protocol must be a pure execution
+    # strategy: byte-identical results to the per-event blocking path.
+    reference = ClusterSimulation(
+        replace(SMALL, fused_epochs=False, view_deltas=False)
+    ).run(workers=1)
+    fused = ClusterSimulation(SMALL).run(workers=1)
+    assert reference == fused
+
+
+@pytest.mark.parametrize("spool", [1, 3, 100])
+@pytest.mark.parametrize("deltas", [True, False])
+def test_parallel_identical_across_spool_and_delta_knobs(
+    monkeypatch, spool, deltas
+):
+    # Spool drains must splice records back in reference order at every
+    # drain boundary, and view deltas must reconstruct exact views.
+    monkeypatch.setenv("REPRO_MIN_PARALLEL", "1")
+    serial = ClusterSimulation(SMALL).run(workers=1)
+    config = replace(
+        SMALL, spool_epochs=spool, view_deltas=deltas, adaptive_parallel=False
+    )
+    parallel = ClusterSimulation(config).run(workers=2)
+    assert serial == parallel
+
+
+def test_tiny_fleet_never_spawns_a_pool(monkeypatch):
+    # Three hosts sit under the parallel threshold: even an explicit
+    # worker request degrades to the in-process pool.
+    monkeypatch.delenv("REPRO_MIN_PARALLEL", raising=False)
+    sim = ClusterSimulation(SMALL)
+    assert sim._effective_workers(4, adaptive=False) == 1
+    monkeypatch.setenv("REPRO_MIN_PARALLEL", "1")
+    assert sim._effective_workers(4, adaptive=False) == 4
+
+
+def test_serial_run_reports_zero_ipc():
+    sim = ClusterSimulation(SMALL)
+    sim.run(workers=1)
+    assert sim.ipc_bytes_per_epoch == 0.0
+    assert sim.ipc_peer_bytes == 0
+
+
+def test_parallel_run_counts_ipc_bytes(monkeypatch):
+    monkeypatch.setenv("REPRO_MIN_PARALLEL", "1")
+    sim = ClusterSimulation(replace(SMALL, adaptive_parallel=False))
+    sim.run(workers=2)
+    if len(sim.ipc_bytes_epochs) != SMALL.epochs:  # pragma: no cover
+        pytest.skip("sandbox cannot fork")
+    assert sim.ipc_bytes_per_epoch > 0.0
+
+
+def test_view_deltas_reconstruct_summaries():
+    from repro.cluster.host import Host, apply_view_delta
+    from repro.workloads import make_workload
+
+    host = Host(0, replace(SMALL, hosts=1))
+    view = host.publish_view()
+    assert view == host.summary()
+    host.add_tenant(0, 64, make_workload("Redis"), epoch=0)
+    kind, *payload = host.publish_view_payload()
+    assert kind == "d"
+    index, mask, values = payload
+    assert index == host.index and mask != 0
+    assert apply_view_delta(view, mask, values) == host.summary()
+    # A quiet host publishes an empty delta, not a full view.
+    kind2, _, mask2, values2 = host.publish_view_payload()
+    assert kind2 == "d" and mask2 == 0 and values2 == ()
 
 
 def test_consolidation_migrates_and_records():
@@ -94,8 +168,22 @@ def test_alignment_aware_beats_first_fit_on_aged_fleet():
 
 
 def test_fleet_key_ignores_fast_path_flags():
+    from repro.cluster.engine import EXECUTION_STRATEGY_FIELDS
+
     config = ClusterConfig(hosts=2, epochs=4)
     assert fleet_key(config) == fleet_key(replace(config, batch_faults=False))
+    assert fleet_key(config) == fleet_key(
+        replace(
+            config,
+            fused_epochs=False,
+            view_deltas=False,
+            spool_epochs=3,
+            adaptive_parallel=False,
+            wire_compression=False,
+        )
+    )
+    for field in EXECUTION_STRATEGY_FIELDS:
+        assert hasattr(config, field)
     assert fleet_key(config) != fleet_key(replace(config, seed=1))
     assert fleet_key(config) != fleet_key(replace(config, placement="best-fit"))
 

@@ -65,6 +65,43 @@ def test_cluster_command(capsys):
     assert "host0:" in out and "host1:" in out
 
 
+def test_cluster_protocol_flags_map_to_config():
+    args = build_parser().parse_args([
+        "cluster", "--no-fused", "--no-view-deltas", "--no-adaptive",
+        "--spool-epochs", "3",
+    ])
+    assert args.fused is False
+    assert args.view_deltas is False
+    assert args.adaptive is False
+    assert args.spool_epochs == 3
+    defaults = build_parser().parse_args(["cluster"])
+    assert defaults.fused and defaults.view_deltas and defaults.adaptive
+    assert defaults.spool_epochs is None
+
+
+def test_cluster_protocol_flags_do_not_change_results(capsys):
+    base = [
+        "cluster", "--hosts", "2", "--host-mib", "512",
+        "--epochs", "3", "--seed", "7",
+    ]
+    assert main(base) == 0
+    reference = capsys.readouterr().out
+    assert main(base + ["--no-fused", "--no-view-deltas",
+                        "--spool-epochs", "1"]) == 0
+    assert capsys.readouterr().out == reference
+
+
+def test_cluster_profile_prints_hotspots(capsys):
+    code = main([
+        "cluster", "--hosts", "2", "--host-mib", "512",
+        "--epochs", "2", "--profile", "5",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fleet FMFI" in out
+    assert "cumulative" in out  # the pstats table made it out
+
+
 def test_cluster_placement_choices_enforced():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["cluster", "--placement", "not-a-policy"])
