@@ -30,6 +30,12 @@ the bench trajectory is populated from run to run:
   bitmask view deltas, spooled records, peer-pipe migration payloads).
   Results must be identical in every mode; the fused protocol must cut
   controller traffic by >= 5x.
+* **Telemetry** — the cost of ``repro.obs``: disabled helpers priced per
+  call (the estimated drag on an uninstrumented fleet run must stay
+  under 3%), and one fully-traced serial fleet run that must match the
+  plain run's results bit-for-bit, cover every host in the merged event
+  log, and finish within 1.5x.  The Chrome trace and event log land in
+  ``BENCH_trace.json`` / ``BENCH_events.jsonl`` for CI artifact upload.
 
 The assertions are deliberately machine-independent where possible
 (batched must not lose to per-page; the index must be >= 2x on the
@@ -46,8 +52,10 @@ import pathlib
 import time
 from dataclasses import replace
 
+from repro import obs
 from repro.cluster import ClusterConfig, ClusterSimulation
 from repro.exec import Cell, ResultCache, run_cells
+from repro.obs.export import chrome_trace, events_to_jsonl
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import run_workload
 from repro.workloads.suite import make_workload
@@ -162,6 +170,50 @@ def test_perf_smoke(tmp_path):
     legacy_ipc = legacy_sim.ipc_bytes_per_epoch
     fused_ipc = fused_sim.ipc_bytes_per_epoch
 
+    # --- telemetry: disabled cost and enabled overhead -------------------
+    # Disabled helpers are one global check and out; price them per call
+    # so the "off by default costs nothing" claim is measured, not
+    # asserted by fiat.
+    assert not obs.enabled()
+    loops = 200_000
+
+    def _disabled_loop():
+        for _ in range(loops):
+            with obs.span("bench"):
+                pass
+            obs.emit("bench")
+
+    _, disabled_loop_s = _timed(_disabled_loop)
+    disabled_call_s = disabled_loop_s / (2 * loops)
+
+    try:
+        telemetry = obs.enable(obs.Telemetry())
+        fleet_traced, fleet_traced_s = _timed(
+            lambda: ClusterSimulation(FLEET_CONFIG).run(workers=1)
+        )
+        events = telemetry.events()
+        spans = telemetry.span_stats()
+        obs_stats = telemetry.stats()
+        trace = chrome_trace(telemetry)
+        events_jsonl = events_to_jsonl(events)
+    finally:
+        obs.disable()
+        obs.clear_context()
+    assert fleet_traced == fleet_serial, "telemetry changed fleet results"
+    # The merged event log covers every host plus the controller.
+    hosts_seen = {event.host for event in events}
+    assert set(range(FLEET_CONFIG.hosts)) <= hosts_seen
+    assert None in hosts_seen
+
+    # What the instrumentation costs the tier-1 suite with telemetry
+    # off: the emissions this run made, priced at the disabled rate.
+    obs_calls = obs_stats["events_emitted"] + 2 * obs_stats["spans_closed"]
+    disabled_fraction = obs_calls * disabled_call_s / fleet_serial_s
+
+    # CI uploads these next to BENCH_perf.json as perf-smoke artifacts.
+    (BENCH_JSON.parent / "BENCH_trace.json").write_text(json.dumps(trace))
+    (BENCH_JSON.parent / "BENCH_events.jsonl").write_text(events_jsonl)
+
     single_speedup = PRE_OPT_SINGLE_CELL_SECONDS / batched_s
     matrix_speedup = serial_s / warm_s
     cores = os.cpu_count() or 1
@@ -222,6 +274,16 @@ def test_perf_smoke(tmp_path):
             "migrations": fleet_serial.migration_count,
             "fleet_fmfi": round(fleet_serial.fleet_fmfi, 4),
         },
+        "telemetry": {
+            "disabled_call_ns": round(disabled_call_s * 1e9, 1),
+            "disabled_overhead_fraction": round(disabled_fraction, 5),
+            "traced_fleet_seconds": round(fleet_traced_s, 4),
+            "traced_vs_plain": round(fleet_traced_s / fleet_serial_s, 2),
+            "events_emitted": obs_stats["events_emitted"],
+            "events_buffered": obs_stats["events_buffered"],
+            "spans_closed": obs_stats["spans_closed"],
+            "spans": spans,
+        },
     }
     BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -254,3 +316,10 @@ def test_perf_smoke(tmp_path):
         assert fleet_parallel_s < fleet_serial_s
     else:
         assert fleet_parallel_s <= fleet_serial_s * 1.05
+    # Telemetry off must be free: the instrumentation this fleet run
+    # would emit, priced at the measured disabled per-call cost, has to
+    # stay under 3% of the run's wall clock.
+    assert disabled_fraction < 0.03
+    # Telemetry on is allowed to cost something, but collecting a full
+    # fleet trace must stay within 1.5x of the plain run.
+    assert fleet_traced_s <= fleet_serial_s * 1.5

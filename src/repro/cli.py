@@ -17,12 +17,22 @@ Commands
     and live migration, and print fleet FMFI, the per-host alignment
     distribution and migration cost accounting.
 
+``trace``
+    Run one of the ``experiment`` targets with telemetry enabled and
+    export the event log, Chrome/Perfetto trace, span summary and time
+    series into a directory (default ``trace/<name>``).
+
 ``run``, ``experiment`` and ``cluster`` accept ``--profile [N]`` (or the
 ``REPRO_PROFILE`` environment variable) to wrap the command in
 :mod:`cProfile` and print the top N functions by cumulative time.
 ``cluster`` additionally exposes the fused IPC protocol knobs
 (``--spool-epochs``, ``--no-fused``, ``--no-view-deltas``,
 ``--no-adaptive``) — execution strategies that never change results.
+
+Every command also takes the telemetry knobs ``--trace-out DIR``,
+``--trace-events N`` and ``--trace-sample R`` (environment:
+``REPRO_TRACE*``); with ``--trace-out`` the exports land in *DIR*
+after the command finishes (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -30,6 +40,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.cluster import (
     ClusterConfig,
     FleetResult,
@@ -87,15 +98,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="prime the VM with a full SVM run first")
     _add_exec_args(run)
 
+    experiment_choices = [
+        "fig02", "fig03", "clean-slate", "reused-vm", "fig16",
+        "collocation", "ablations", "validation", "sweeps",
+        "interplay", "fleet",
+    ]
     experiment = sub.add_parser("experiment", help="regenerate a paper table/figure")
-    experiment.add_argument(
-        "name",
-        choices=[
-            "fig02", "fig03", "clean-slate", "reused-vm", "fig16",
-            "collocation", "ablations", "validation", "sweeps",
-            "interplay", "fleet",
-        ],
-    )
+    experiment.add_argument("name", choices=experiment_choices)
     experiment.add_argument("--epochs", type=int, default=None)
     experiment.add_argument("--unfragmented", action="store_true")
     experiment.add_argument(
@@ -103,6 +112,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to specific workloads; repeatable",
     )
     _add_exec_args(experiment)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run an experiment with telemetry on and export the trace",
+    )
+    trace.add_argument("name", choices=experiment_choices)
+    trace.add_argument("--epochs", type=int, default=None)
+    trace.add_argument("--unfragmented", action="store_true")
+    trace.add_argument(
+        "--workload", "-w", action="append", dest="workloads",
+        help="restrict to specific workloads; repeatable",
+    )
+    _add_exec_args(trace)
 
     cluster = sub.add_parser(
         "cluster", help="simulate a fleet of hosts under VM churn"
@@ -162,17 +184,37 @@ def _add_exec_args(command: argparse.ArgumentParser) -> None:
         help="profile the command with cProfile and print the top N "
         "cumulative hotspots (default N: 25; also $REPRO_PROFILE)",
     )
+    command.add_argument(
+        "--trace-out", default=None, metavar="DIR",
+        help="enable telemetry and export traces to DIR "
+        "(also $REPRO_TRACE_OUT)",
+    )
+    command.add_argument(
+        "--trace-events", type=int, default=None, metavar="N",
+        help="event ring capacity (default 65536; also $REPRO_TRACE_EVENTS)",
+    )
+    command.add_argument(
+        "--trace-sample", type=float, default=None, metavar="R",
+        help="event keep rate in (0, 1] (default 1.0; "
+        "also $REPRO_TRACE_SAMPLE)",
+    )
 
 
 def _apply_exec_args(args: argparse.Namespace) -> None:
-    """Publish --workers/--cache-dir where the experiment harness reads
-    them (the executor's environment knobs)."""
+    """Publish --workers/--cache-dir/--trace-* where the experiment
+    harness and forked workers read them (environment knobs)."""
     import os
 
     if args.workers is not None:
         os.environ["REPRO_WORKERS"] = str(args.workers)
     if args.cache_dir is not None:
         os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+    if getattr(args, "trace_out", None) is not None:
+        os.environ["REPRO_TRACE_OUT"] = args.trace_out
+    if getattr(args, "trace_events", None) is not None:
+        os.environ["REPRO_TRACE_EVENTS"] = str(args.trace_events)
+    if getattr(args, "trace_sample", None) is not None:
+        os.environ["REPRO_TRACE_SAMPLE"] = str(args.trace_sample)
 
 
 def _cmd_list() -> int:
@@ -338,11 +380,41 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace <experiment>``: experiment + telemetry + export.
+
+    Forces collection on, defaults the export directory to
+    ``trace/<name>``, and bypasses the result cache unless one was asked
+    for explicitly — cache hits skip the runs that emit the events.
+    """
+    import os
+
+    if not os.environ.get("REPRO_TRACE_OUT", "").strip():
+        os.environ["REPRO_TRACE_OUT"] = os.path.join("trace", args.name)
+    if args.cache_dir is None:
+        os.environ["REPRO_CACHE_DIR"] = ""
+    obs.configure_from_env()
+    return _cmd_experiment(args)
+
+
+def _export_trace() -> None:
+    """Write the collected telemetry to the requested trace directory."""
+    out_dir = obs.trace_out_dir()
+    telemetry = obs.get()
+    if out_dir is None or telemetry is None:
+        return
+    paths = obs.export.export_run(telemetry, out_dir)
+    print()
+    print(f"trace exported to {out_dir}/ ({', '.join(sorted(paths))})")
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "cluster":
         return _cmd_cluster(args)
     return 1  # pragma: no cover - argparse enforces the choices
@@ -353,10 +425,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         return _cmd_list()
     _apply_exec_args(args)
+    obs.configure_from_env()
     top = _profile_top(args)
     if top is None:
-        return _dispatch(args)
+        status = _dispatch(args)
+        _export_trace()
+        return status
     import cProfile
+    import io
     import pstats
 
     profiler = cProfile.Profile()
@@ -365,8 +441,22 @@ def main(argv: list[str] | None = None) -> int:
         status = _dispatch(args)
     finally:
         profiler.disable()
+        buffer = io.StringIO()
+        pstats.Stats(profiler, stream=buffer).sort_stats(
+            "cumulative"
+        ).print_stats(top)
+        report = buffer.getvalue()
         print()
-        pstats.Stats(profiler).sort_stats("cumulative").print_stats(top)
+        print(report, end="")
+        out_dir = obs.trace_out_dir()
+        if out_dir is not None:
+            # Keep the profile next to the trace it explains.
+            import pathlib
+
+            directory = pathlib.Path(out_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            (directory / "profile.txt").write_text(report)
+        _export_trace()
     return status
 
 

@@ -46,6 +46,7 @@ import os
 import time
 from dataclasses import asdict, replace
 
+from repro import obs
 from repro.cluster.config import ClusterConfig
 from repro.cluster.host import Host, HostView, apply_view_delta
 from repro.cluster.migration import build_record, migrate_in, migrate_out
@@ -185,18 +186,41 @@ def _act_migrate_in_fused(host: Host, payload: tuple, migration) -> HostView:
     return migrate_in(host, tenant, state, runs, migration)
 
 
-def _drain_worker_spools(states: dict[int, Host], compress: bool) -> tuple:
+def _drain_worker_spools(states: dict[int, Host], remote: bool) -> tuple:
     """Per-worker epilogue: drain every owned host's record spool into
     ONE encoded blob — records compress far better pooled than per host
     (shared field names and layouts), and one transfer per worker beats
-    one per host."""
+    one per host.
+
+    The worker's telemetry snapshot piggybacks on the same reply
+    (``(records, obs_blob)``), so cross-process telemetry costs zero
+    extra round-trips.  In-process pools return ``None`` for the blob:
+    they already share the controller's registry, and snapshotting it
+    here would drain the controller's own telemetry into itself.
+    """
     host_records = []
     tenant_records = []
     for index in sorted(states):
         drained_hosts, drained_tenants = states[index].drain_records()
         host_records.extend(drained_hosts)
         tenant_records.extend(drained_tenants)
-    return encode_records(host_records, tenant_records, compress=compress)
+    records = encode_records(host_records, tenant_records, compress=remote)
+    return records, obs.snapshot_blob() if remote else None
+
+
+def _reset_worker_obs(states: dict[int, Host]) -> None:
+    """Post-scatter epilogue: forked workers inherit the controller's
+    telemetry (fork copies the module singleton); start them from a clean
+    registry so spooled snapshots carry only worker-side data."""
+    obs.reset()
+    obs.clear_context()
+
+
+def _drain_worker_obs(states: dict[int, Host]) -> bytes | None:
+    """Final-sweep epilogue: detach whatever telemetry the worker still
+    holds (reference protocol, or a retraction before the first fused
+    spool drain)."""
+    return obs.snapshot_blob()
 
 
 class ClusterSimulation:
@@ -267,6 +291,7 @@ class ClusterSimulation:
             compress_wire=config.wire_compression,
         )
         pool.scatter(self.hosts)
+        self._obs_reset_workers(pool)
         self._spool_every = _resolve_spool(config)
         self.ipc_bytes_epochs = []
         try:
@@ -274,10 +299,12 @@ class ClusterSimulation:
                 pool.drain_window.clear()
                 bytes_before = pool.bytes_sent + pool.bytes_received
                 started = time.perf_counter()
-                if config.fused_epochs:
-                    self._epoch_fused(pool, epoch)
-                else:
-                    self._epoch_reference(pool, epoch)
+                obs.set_context(host=None, epoch=epoch)
+                with obs.span("fleet.epoch"):
+                    if config.fused_epochs:
+                        self._epoch_fused(pool, epoch)
+                    else:
+                        self._epoch_reference(pool, epoch)
                 wall = time.perf_counter() - started
                 self.ipc_bytes_epochs.append(
                     pool.bytes_sent + pool.bytes_received - bytes_before
@@ -288,14 +315,36 @@ class ClusterSimulation:
                     and not pool.is_local
                     and self._parallel_cannot_win(pool, wall)
                 ):
+                    # Retraction discards the worker processes; pull
+                    # their telemetry home first or epoch 0 goes dark.
+                    self._obs_sweep_workers(pool)
                     pool.retract()
             # Bring the final host states home so callers can inspect
             # them the same way after serial and parallel runs.
             self.ipc_peer_bytes = pool.peer_bytes
+            if not config.fused_epochs:
+                # The fused protocol's last spool drain already carried
+                # the workers' final snapshots; the reference protocol
+                # never spools, so sweep once before the states come home.
+                self._obs_sweep_workers(pool)
             self.hosts = pool.gather()
         finally:
             pool.close()
         return self.result
+
+    def _obs_reset_workers(self, pool: ActorPool) -> None:
+        """One post-scatter round-trip (telemetry on, real pool only)."""
+        if obs.enabled() and not pool.is_local:
+            pool.submit([], each_worker=(_reset_worker_obs, ()))
+            pool.drain()
+
+    def _obs_sweep_workers(self, pool: ActorPool) -> None:
+        """Merge every worker's outstanding telemetry snapshot."""
+        if obs.enabled() and not pool.is_local:
+            pool.submit([], each_worker=(_drain_worker_obs, ()))
+            pool.drain()
+            for blob in pool.extras:
+                obs.merge_blob(blob)
 
     def _effective_workers(self, workers: int | None, adaptive: bool) -> int:
         workers = resolve_workers(workers)
@@ -353,12 +402,25 @@ class ClusterSimulation:
                 ops.append((index, _queue_destroy_tenant, (event.ordinal,)))
                 self._committed[index] -= self._guest_pages.pop(event.ordinal)
                 del self._vm_host[event.ordinal]
+                # ``on`` rather than ``host``: the envelope's host slot
+                # is the *emitting* process (the controller, None here).
+                obs.emit_at(
+                    "fleet.depart", None, epoch, ordinal=event.ordinal, on=index
+                )
             else:
                 ops.append((
                     index,
                     _queue_resize_tenant,
                     (event.ordinal, event.grow, event.delta_fraction),
                 ))
+                obs.emit_at(
+                    "fleet.resize",
+                    None,
+                    epoch,
+                    ordinal=event.ordinal,
+                    on=index,
+                    grow=event.grow,
+                )
         if ops and (arrivals or consolidating):
             # Departures and resizes change host state in ways only the
             # hosts know (freed frames, buddy contiguity), so the views
@@ -398,8 +460,9 @@ class ClusterSimulation:
         for view_payload in outputs[len(ops) - len(self.hosts):]:
             self._ingest_view(view_payload)
         if drain_spool:
-            for spool in pool.extras:
-                self._spooled.append(decode_records(spool))
+            for records_payload, obs_blob in pool.extras:
+                self._spooled.append(decode_records(records_payload))
+                obs.merge_blob(obs_blob)
             self._merge_spooled()
 
     def _flush(self, pool: ActorPool, ops: list[tuple], deltas: bool) -> None:
@@ -423,7 +486,23 @@ class ClusterSimulation:
         index = self.placement.select(self._views, needed)
         if index is None:
             self.result.placement_failures += 1
+            obs.emit_at(
+                "fleet.place_fail",
+                None,
+                epoch,
+                ordinal=event.ordinal,
+                needed=needed,
+            )
             return
+        obs.emit_at(
+            "fleet.place",
+            None,
+            epoch,
+            ordinal=event.ordinal,
+            workload=event.workload,
+            guest_mib=event.guest_mib,
+            on=index,
+        )
         ops.append((
             index,
             _queue_add_tenant,
@@ -512,6 +591,13 @@ class ClusterSimulation:
                         event.ordinal
                     )
                     del self._vm_host[event.ordinal]
+                    obs.emit_at(
+                        "fleet.depart",
+                        None,
+                        epoch,
+                        ordinal=event.ordinal,
+                        on=index,
+                    )
                 else:
                     view = pool.apply(
                         _act_resize_tenant,
@@ -519,6 +605,14 @@ class ClusterSimulation:
                         event.ordinal,
                         event.grow,
                         event.delta_fraction,
+                    )
+                    obs.emit_at(
+                        "fleet.resize",
+                        None,
+                        epoch,
+                        ordinal=event.ordinal,
+                        on=index,
+                        grow=event.grow,
                     )
                 self._views[index] = view
 
@@ -528,7 +622,23 @@ class ClusterSimulation:
         index = self.placement.select(self._views, needed)
         if index is None:
             self.result.placement_failures += 1
+            obs.emit_at(
+                "fleet.place_fail",
+                None,
+                epoch,
+                ordinal=event.ordinal,
+                needed=needed,
+            )
             return
+        obs.emit_at(
+            "fleet.place",
+            None,
+            epoch,
+            ordinal=event.ordinal,
+            workload=event.workload,
+            guest_mib=event.guest_mib,
+            on=index,
+        )
         workload = make_workload(event.workload)
         self._views[index] = pool.apply(
             _act_add_tenant, index, event.ordinal, event.guest_mib, workload, epoch
@@ -544,6 +654,10 @@ class ClusterSimulation:
     # ------------------------------------------------------------------
 
     def _consolidate(self, pool: ActorPool, epoch: int) -> None:
+        with obs.span("fleet.consolidate"):
+            self._consolidate_body(pool, epoch)
+
+    def _consolidate_body(self, pool: ActorPool, epoch: int) -> None:
         consolidation = self.config.consolidation
         budget = consolidation.max_migrations
         for index in range(len(self._views)):
@@ -598,16 +712,14 @@ class ClusterSimulation:
             )
             self._views[source] = src_view
             self._views[destination] = dst_view
-            self.result.migrations.append(
-                build_record(
-                    epoch=epoch,
-                    ordinal=ordinal,
-                    source=source,
-                    destination=destination,
-                    reason=reason,
-                    schedule=schedule,
-                    resident_pages=resident,
-                )
+            record = build_record(
+                epoch=epoch,
+                ordinal=ordinal,
+                source=source,
+                destination=destination,
+                reason=reason,
+                schedule=schedule,
+                resident_pages=resident,
             )
         else:
             tenant, state, runs, schedule, src_view = pool.apply(
@@ -617,17 +729,28 @@ class ClusterSimulation:
             self._views[destination] = pool.apply(
                 migrate_in, destination, tenant, state, runs, migration
             )
-            self.result.migrations.append(
-                build_record(
-                    epoch=epoch,
-                    ordinal=ordinal,
-                    source=source,
-                    destination=destination,
-                    reason=reason,
-                    schedule=schedule,
-                    runs=runs,
-                )
+            record = build_record(
+                epoch=epoch,
+                ordinal=ordinal,
+                source=source,
+                destination=destination,
+                reason=reason,
+                schedule=schedule,
+                runs=runs,
             )
+        self.result.migrations.append(record)
+        obs.emit_at(
+            "fleet.migrate",
+            None,
+            epoch,
+            ordinal=ordinal,
+            source=source,
+            destination=destination,
+            reason=reason,
+            resident=record.resident_pages,
+            rounds=record.rounds,
+            copied=record.copied_pages,
+        )
         guest_pages = self._guest_pages[ordinal]
         self._committed[source] -= guest_pages
         self._committed[destination] += guest_pages

@@ -20,6 +20,7 @@ import zlib
 from dataclasses import dataclass, field, fields, replace
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.cluster.results import (
     HostEpochRecord,
     TenantEpochRecord,
@@ -402,11 +403,17 @@ class Host:
 
     def step_epoch(self, epoch: int) -> None:
         """Run one fleet epoch on this host (cf. Simulation._epoch)."""
+        obs.set_context(host=self.index, epoch=epoch)
+        with obs.span("host.step"):
+            self._step_epoch(epoch)
+
+    def _step_epoch(self, epoch: int) -> None:
         tenants = [self.tenants[ordinal] for ordinal in sorted(self.tenants)]
-        for tenant in tenants:
-            if tenant.epochs_run == 0:
-                tenant.workload.setup(tenant.ctx)
-            tenant.workload.run_epoch(tenant.ctx, tenant.epochs_run)
+        with obs.span("host.workloads"):
+            for tenant in tenants:
+                if tenant.epochs_run == 0:
+                    tenant.workload.setup(tenant.ctx)
+                tenant.workload.run_epoch(tenant.ctx, tenant.epochs_run)
 
         epoch_misses = 0.0
         ledger = self.platform.host.ledger
@@ -415,68 +422,89 @@ class Host:
         host_share = 1.0 / len(tenants) if tenants else 0.0
         host_fmfi = fmfi(self.platform.memory)
 
-        for tenant in tenants:
-            vm, workload = tenant.vm, tenant.workload
-            charge_dedup_cow(vm, workload)
-            segments = build_segments(self.platform, vm, workload, tenant.epochs_run)
-            stats = self.tlb_model.evaluate(segments)
-            epoch_misses += stats.misses
-
-            guest_delta = vm.guest.ledger.delta_since(tenant.guest_snapshot)
-            tenant.guest_snapshot = vm.guest.ledger.snapshot()
-            performance = epoch_performance(
-                tlb_sensitivity=workload.tlb_sensitivity,
-                ops=workload.ops_per_epoch,
-                stats=stats,
-                sync_mm_cycles=guest_delta.sync_cycles
-                + host_delta.sync_cycles * host_share,
-                background_cycles=guest_delta.background_cycles
-                + host_delta.background_cycles * host_share,
-            )
-            vm_index = self.platform.index_of(vm.id)
-            if vm_index is not None:
-                report = vm_index.report()
-            else:
-                report = alignment_report(
-                    vm.guest.table(PROCESS), self.platform.ept(vm.id)
+        with obs.span("host.classify"):
+            for tenant in tenants:
+                vm, workload = tenant.vm, tenant.workload
+                charge_dedup_cow(vm, workload)
+                segments = build_segments(
+                    self.platform, vm, workload, tenant.epochs_run
                 )
-            guest_fmfi = fmfi(vm.gpa_space)
-            self._tenant_records.append(
-                TenantEpochRecord(
-                    epoch=epoch,
+                stats = self.tlb_model.evaluate(segments)
+                epoch_misses += stats.misses
+
+                guest_delta = vm.guest.ledger.delta_since(tenant.guest_snapshot)
+                tenant.guest_snapshot = vm.guest.ledger.snapshot()
+                performance = epoch_performance(
+                    tlb_sensitivity=workload.tlb_sensitivity,
+                    ops=workload.ops_per_epoch,
+                    stats=stats,
+                    sync_mm_cycles=guest_delta.sync_cycles
+                    + host_delta.sync_cycles * host_share,
+                    background_cycles=guest_delta.background_cycles
+                    + host_delta.background_cycles * host_share,
+                )
+                vm_index = self.platform.index_of(vm.id)
+                if vm_index is not None:
+                    report = vm_index.report()
+                else:
+                    report = alignment_report(
+                        vm.guest.table(PROCESS), self.platform.ept(vm.id)
+                    )
+                guest_fmfi = fmfi(vm.gpa_space)
+                self._tenant_records.append(
+                    TenantEpochRecord(
+                        epoch=epoch,
+                        ordinal=tenant.ordinal,
+                        host=self.index,
+                        workload=workload.name,
+                        tenant_epoch=tenant.epochs_run,
+                        performance=performance,
+                        alignment=report,
+                        fmfi_guest=guest_fmfi,
+                    )
+                )
+                obs.emit(
+                    "tenant.epoch",
                     ordinal=tenant.ordinal,
-                    host=self.index,
                     workload=workload.name,
                     tenant_epoch=tenant.epochs_run,
-                    performance=performance,
-                    alignment=report,
-                    fmfi_guest=guest_fmfi,
+                    tlb_misses=round(stats.misses, 3),
+                    well_aligned_rate=round(report.well_aligned_rate, 6),
+                    fmfi_guest=round(guest_fmfi, 6),
                 )
-            )
-            vm.guest.policy.on_epoch(
-                EpochTelemetry(tenant.epochs_run, stats.misses, guest_fmfi)
-            )
-            tenant.epochs_run += 1
+                vm.guest.policy.on_epoch(
+                    EpochTelemetry(tenant.epochs_run, stats.misses, guest_fmfi)
+                )
+                tenant.epochs_run += 1
 
         self.platform.host.policy.on_epoch(
             EpochTelemetry(epoch, epoch_misses, host_fmfi)
         )
         self._last_misses = epoch_misses
-        for tenant in tenants:
-            tenant.vm.guest.policy.scan(None)
-        self.platform.host.policy.scan(None)
-        if self.runtime is not None:
-            self.runtime.epoch(now=float(epoch), tlb_misses=self._last_misses)
+        with obs.span("host.daemons"):
+            for tenant in tenants:
+                tenant.vm.guest.policy.scan(None)
+            self.platform.host.policy.scan(None)
+            if self.runtime is not None:
+                self.runtime.epoch(now=float(epoch), tlb_misses=self._last_misses)
 
         memory = self.platform.memory
+        aligned_free = memory.free_pages_at_or_above(HUGE_ORDER)
         self._host_records.append(
             HostEpochRecord(
                 epoch=epoch,
                 host=self.index,
                 fmfi=host_fmfi,
                 free_pages=memory.free_pages,
-                aligned_free_pages=memory.free_pages_at_or_above(HUGE_ORDER),
+                aligned_free_pages=aligned_free,
                 total_pages=memory.total_pages,
                 vms=len(tenants),
             )
+        )
+        obs.emit(
+            "host.epoch",
+            fmfi=round(host_fmfi, 6),
+            free_pages=memory.free_pages,
+            aligned_free_pages=aligned_free,
+            vms=len(tenants),
         )

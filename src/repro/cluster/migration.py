@@ -26,6 +26,7 @@ direct in-process use and keeps the records.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.cluster.config import MigrationConfig
 from repro.cluster.host import Host, HostView, Tenant, resident_pages, resident_runs
 from repro.cluster.results import MigrationRecord
@@ -76,12 +77,26 @@ def migrate_out(
     Returns ``(tenant, runtime_state, resident_runs, schedule, view)`` —
     everything the destination half and the migration record need.
     """
+    # Attribute any failure (and nested emissions) to the source host;
+    # the epoch is unknown here — the controller-side fleet.migrate
+    # event carries it.
+    obs.set_context(host=host.index)
     tenant = host.tenants[ordinal]
     vm = tenant.vm
     runs = resident_runs(vm)
     resident = sum(count for _, count in runs)
     schedule = precopy_schedule(resident, tenant.workload.dirty_fraction, config)
     rounds, copied, downtime = schedule
+    obs.emit_at(
+        "migration.out",
+        host.index,
+        None,
+        ordinal=ordinal,
+        resident=resident,
+        rounds=rounds,
+        copied=copied,
+        downtime=downtime,
+    )
 
     ledger = host.platform.host.ledger
     ledger.charge(
@@ -138,6 +153,14 @@ def migrate_in(
     EPT huge-page layout — and with it the VM's alignment — is rebuilt
     from the destination's memory state.
     """
+    obs.set_context(host=host.index)
+    obs.emit_at(
+        "migration.in",
+        host.index,
+        None,
+        ordinal=tenant.ordinal,
+        pages=sum(count for _, count in runs),
+    )
     host.adopt_tenant(tenant, state)
     vm = tenant.vm
     layer = host.platform.host

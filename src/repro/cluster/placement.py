@@ -29,6 +29,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Sequence
 
+from repro import obs
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.host import HostView
 
@@ -63,8 +65,29 @@ class PlacementPolicy:
             if view.index not in exclude and view.available_pages >= pages_needed
         ]
         if not candidates:
+            obs.emit_at(
+                "placement.select",
+                None,
+                None,
+                policy=self.name,
+                candidates=0,
+                pages_needed=pages_needed,
+                chosen=None,
+            )
             return None
-        return self.choose(candidates, pages_needed).index
+        chosen = self.choose(candidates, pages_needed).index
+        # Placement always runs on the controller; explicit attribution
+        # keeps the stream identical across serial and parallel runs.
+        obs.emit_at(
+            "placement.select",
+            None,
+            None,
+            policy=self.name,
+            candidates=len(candidates),
+            pages_needed=pages_needed,
+            chosen=chosen,
+        )
+        return chosen
 
     def choose(
         self, candidates: list["HostView"], pages_needed: int

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Hashable
 
+from repro import obs
 from repro.mem.buddy import AllocationError
 from repro.mem.layout import PAGES_PER_HUGE
 
@@ -218,12 +219,21 @@ class BookingTable(ReservedRegionPool):
         ok = self.reserve_free(pregion, now + self.controller.effective, purpose)
         if ok:
             self.booked_total += 1
+            obs.emit(
+                "booking.book",
+                region=pregion,
+                timeout=round(self.controller.effective, 6),
+                purpose=purpose,
+            )
         return ok
 
     def expire(self, now: float) -> int:
         before = len(self)
         released = super().expire(now)
-        self.expired_total += before - len(self)
+        expired = before - len(self)
+        self.expired_total += expired
+        if expired:
+            obs.emit("booking.expire", count=expired, released=released)
         return released
 
 
@@ -283,6 +293,7 @@ class TimeoutController:
             # in the same (upward-first) order.
             self.desired = self.effective
             self.adjustments += 1
+            obs.emit("booking.timeout", adopted=round(self.desired, 6))
             self._phase = self._BASE_UP
         else:
             self.effective = self.desired

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.mem.layout import PAGES_PER_HUGE
 from repro.os.mm import PROCESS, MemoryLayer
 
@@ -67,6 +68,7 @@ class GuestPromoter:
         """
         layer = self.vm.guest
         promoted = 0
+        prealloc_before = self.preallocated_pages
         retry: list[int] = []
         while self._queue and promoted < self.budget:
             gpregion = self._queue.pop(0)
@@ -89,6 +91,14 @@ class GuestPromoter:
         for gpregion in retry:
             self.enqueue([gpregion])
         self.promoted_total += promoted
+        if promoted or retry:
+            obs.emit(
+                "promote.guest",
+                promoted=promoted,
+                retried=len(retry),
+                backlog=self.backlog,
+                prealloc=self.preallocated_pages - prealloc_before,
+            )
         return promoted
 
     def _align_region(self, layer: MemoryLayer, gpregion: int, fmfi: float) -> bool:
@@ -272,4 +282,11 @@ class HostPromoter:
         for vm_id, gpregion in retry:
             self.enqueue(vm_id, [gpregion])
         self.promoted_total += promoted
+        if promoted or retry:
+            obs.emit(
+                "promote.host",
+                promoted=promoted,
+                retried=len(retry),
+                backlog=self.backlog,
+            )
         return promoted

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.booking import BookingTable, TimeoutController
 from repro.core.bucket import HugeBucket
 from repro.core.mhps import MisalignedScanner
@@ -152,20 +153,26 @@ class GeminiRuntime:
 
     def epoch(self, now: float, tlb_misses: float = 0.0) -> None:
         """One Gemini maintenance round."""
-        result = self.scanner.scan()
-        host_policy = self.platform.host.policy
-        if isinstance(host_policy, GeminiHostPolicy):
-            host_policy.live_regions = result.live_regions
-            host_policy.guest_alignable = self._guest_region_alignable
-        host_fmfi = fmfi(self.platform.memory)
-        for vm_id, state in self._guests.items():
-            self._guest_round(state, result.host_regions(vm_id), now, tlb_misses)
-        for vm_id in self._guests:
-            self._host_round(vm_id, result.guest_regions(vm_id), now)
-        if self.config.enable_ema_hb:
-            self.host_promoter.run()
-        self.host_booking.expire(now)
-        self.host_controller.observe(tlb_misses, host_fmfi)
+        with obs.span("gemini.epoch"):
+            with obs.span("gemini.scan"):
+                result = self.scanner.scan()
+            host_policy = self.platform.host.policy
+            if isinstance(host_policy, GeminiHostPolicy):
+                host_policy.live_regions = result.live_regions
+                host_policy.guest_alignable = self._guest_region_alignable
+            host_fmfi = fmfi(self.platform.memory)
+            with obs.span("gemini.guest"):
+                for vm_id, state in self._guests.items():
+                    self._guest_round(
+                        state, result.host_regions(vm_id), now, tlb_misses
+                    )
+            with obs.span("gemini.host"):
+                for vm_id in self._guests:
+                    self._host_round(vm_id, result.guest_regions(vm_id), now)
+                if self.config.enable_ema_hb:
+                    self.host_promoter.run()
+                self.host_booking.expire(now)
+            self.host_controller.observe(tlb_misses, host_fmfi)
 
     def _guest_round(
         self, state: _GuestState, misaligned_host: list[int], now: float, tlb_misses: float

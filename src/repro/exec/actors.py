@@ -73,6 +73,7 @@ from dataclasses import dataclass
 from multiprocessing.connection import Connection, wait
 
 from repro.exec.pool import resolve_workers
+from repro.obs import current_context
 
 __all__ = ["ActorPool", "DrainStats", "WIRE_COMPRESS_THRESHOLD"]
 
@@ -142,9 +143,14 @@ def _portable_exception(exc: BaseException) -> BaseException:
     detonate inside the parent's ``recv`` and desynchronise the
     protocol.  Anything that fails the round trip is replaced by a
     ``RuntimeError`` carrying its ``repr``; either way the worker-side
-    traceback travels along as an exception note.
+    traceback travels along as an exception note, prefixed with the
+    telemetry context — which host and epoch the worker was on — so a
+    fleet failure is attributable without re-running serially.
     """
     note = "worker traceback:\n" + traceback.format_exc()
+    host, epoch = current_context()
+    if host is not None or epoch is not None:
+        note = f"worker context: host={host} epoch={epoch}\n" + note
     try:
         clone = pickle.loads(_dumps(exc))
     except Exception:

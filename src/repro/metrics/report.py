@@ -24,6 +24,8 @@ __all__ = [
     "fleet_summary_rows",
     "fleet_to_markdown",
     "format_fleet_summary",
+    "format_top_spans",
+    "telemetry_series_to_csv",
 ]
 
 #: RunResult properties exported by default.
@@ -249,3 +251,46 @@ def series_to_csv(result: RunResult) -> str:
             ]
         )
     return buffer.getvalue()
+
+
+def telemetry_series_to_csv(rows: list[Mapping[str, object]]) -> str:
+    """Render :func:`repro.obs.export.timeseries_rows` output as CSV.
+
+    Rows may carry different summary columns (controller rows have no
+    FMFI, ``sim.epoch`` rows carry workload fields), so the header is
+    the union: the fixed count columns first, extras sorted after.
+    """
+    fixed = [
+        "epoch", "host", "bookings", "expirations",
+        "guest_promotions", "host_promotions", "migrations",
+    ]
+    extras = sorted({key for row in rows for key in row} - set(fixed))
+    columns = fixed + extras
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, restval="")
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def format_top_spans(spans: Mapping[str, Mapping[str, float]], n: int = 5) -> str:
+    """Markdown table of the *n* spans with the largest self time.
+
+    *spans* is :meth:`repro.obs.Telemetry.span_stats` output (duck-typed
+    ``name -> {"count", "total_s", "self_s"}``).
+    """
+    if not spans:
+        return "no spans recorded"
+    ranked = sorted(
+        spans.items(), key=lambda item: (-item[1]["self_s"], item[0])
+    )[:n]
+    lines = [
+        "| span | count | total (ms) | self (ms) |",
+        "|---|---|---|---|",
+    ]
+    for name, stat in ranked:
+        lines.append(
+            f"| {name} | {int(stat['count'])} "
+            f"| {stat['total_s'] * 1e3:.2f} | {stat['self_s'] * 1e3:.2f} |"
+        )
+    return "\n".join(lines)

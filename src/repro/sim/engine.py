@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import zlib
 
+from repro import obs
 from repro.core.runtime import GeminiRuntime
 from repro.hypervisor.platform import Platform
 from repro.hypervisor.vm import PROCESS, VM
@@ -276,10 +277,16 @@ class Simulation:
     # ------------------------------------------------------------------
 
     def _epoch(self, epoch: int, results: list[RunResult]) -> None:
-        for workload, ctx in zip(self.workloads, self._contexts):
-            if epoch == 0:
-                workload.setup(ctx)
-            workload.run_epoch(ctx, epoch)
+        obs.set_context(host=None, epoch=epoch)
+        with obs.span("sim.epoch"):
+            self._epoch_body(epoch, results)
+
+    def _epoch_body(self, epoch: int, results: list[RunResult]) -> None:
+        with obs.span("sim.workloads"):
+            for workload, ctx in zip(self.workloads, self._contexts):
+                if epoch == 0:
+                    workload.setup(ctx)
+                workload.run_epoch(ctx, epoch)
 
         epoch_misses = 0.0
         host_delta = self.platform.host.ledger.delta_since(self._host_snapshot)
@@ -287,49 +294,64 @@ class Simulation:
         host_share = 1.0 / len(self._vms)
         host_fmfi = fmfi(self.platform.memory)
 
-        for index, (workload, vm) in enumerate(zip(self.workloads, self._vms)):
-            self._charge_dedup_cow(workload, vm)
-            segments = self._build_segments(workload, vm, epoch)
-            stats = self.tlb_model.evaluate(segments)
-            epoch_misses += stats.misses
+        with obs.span("sim.classify"):
+            for index, (workload, vm) in enumerate(
+                zip(self.workloads, self._vms)
+            ):
+                self._charge_dedup_cow(workload, vm)
+                segments = self._build_segments(workload, vm, epoch)
+                stats = self.tlb_model.evaluate(segments)
+                epoch_misses += stats.misses
 
-            guest_delta = vm.guest.ledger.delta_since(self._guest_snapshots[index])
-            self._guest_snapshots[index] = vm.guest.ledger.snapshot()
-            sync_mm = guest_delta.sync_cycles + host_delta.sync_cycles * host_share
-            background = (
-                guest_delta.background_cycles
-                + host_delta.background_cycles * host_share
-            )
-            performance = epoch_performance(
-                tlb_sensitivity=workload.tlb_sensitivity,
-                ops=workload.ops_per_epoch,
-                stats=stats,
-                sync_mm_cycles=sync_mm,
-                background_cycles=background,
-            )
-            vm_index = self.platform.index_of(vm.id)
-            if vm_index is not None:
-                report = vm_index.report()
-            else:
-                report = alignment_report(
-                    vm.guest.table(PROCESS), self.platform.ept(vm.id)
+                guest_delta = vm.guest.ledger.delta_since(
+                    self._guest_snapshots[index]
                 )
-            guest_fmfi = fmfi(vm.gpa_space)
-            results[index].epochs.append(
-                EpochRecord(
-                    epoch=epoch,
-                    performance=performance,
-                    alignment=report,
-                    fmfi_guest=guest_fmfi,
-                    fmfi_host=host_fmfi,
-                    guest_huge_pages=vm.guest.huge_mapping_count(),
-                    host_huge_pages=self.platform.ept(vm.id).huge_count,
-                    bloat_pages=vm.guest.bloat_pages,
+                self._guest_snapshots[index] = vm.guest.ledger.snapshot()
+                sync_mm = (
+                    guest_delta.sync_cycles + host_delta.sync_cycles * host_share
                 )
-            )
-            vm.guest.policy.on_epoch(
-                EpochTelemetry(epoch, stats.misses, guest_fmfi)
-            )
+                background = (
+                    guest_delta.background_cycles
+                    + host_delta.background_cycles * host_share
+                )
+                performance = epoch_performance(
+                    tlb_sensitivity=workload.tlb_sensitivity,
+                    ops=workload.ops_per_epoch,
+                    stats=stats,
+                    sync_mm_cycles=sync_mm,
+                    background_cycles=background,
+                )
+                vm_index = self.platform.index_of(vm.id)
+                if vm_index is not None:
+                    report = vm_index.report()
+                else:
+                    report = alignment_report(
+                        vm.guest.table(PROCESS), self.platform.ept(vm.id)
+                    )
+                guest_fmfi = fmfi(vm.gpa_space)
+                results[index].epochs.append(
+                    EpochRecord(
+                        epoch=epoch,
+                        performance=performance,
+                        alignment=report,
+                        fmfi_guest=guest_fmfi,
+                        fmfi_host=host_fmfi,
+                        guest_huge_pages=vm.guest.huge_mapping_count(),
+                        host_huge_pages=self.platform.ept(vm.id).huge_count,
+                        bloat_pages=vm.guest.bloat_pages,
+                    )
+                )
+                obs.emit(
+                    "sim.epoch",
+                    workload=workload.name,
+                    tlb_misses=round(stats.misses, 3),
+                    well_aligned_rate=round(report.well_aligned_rate, 6),
+                    fmfi_guest=round(guest_fmfi, 6),
+                    fmfi_host=round(host_fmfi, 6),
+                )
+                vm.guest.policy.on_epoch(
+                    EpochTelemetry(epoch, stats.misses, guest_fmfi)
+                )
         self.platform.host.policy.on_epoch(
             EpochTelemetry(epoch, epoch_misses, host_fmfi)
         )
@@ -338,7 +360,8 @@ class Simulation:
         # take effect for the next epoch's accesses, so repair mechanisms
         # carry a one-epoch lag while fault-time mechanisms (huge faults
         # from booked/bucketed regions) act immediately.
-        self._run_daemons(epoch)
+        with obs.span("sim.daemons"):
+            self._run_daemons(epoch)
 
     def _run_daemons(self, epoch: int) -> None:
         for vm in self._vms:

@@ -279,3 +279,26 @@ def test_worker_exception_carries_traceback_note():
             pool.apply(boom, 0)
         notes = getattr(info.value, "__notes__", [])
         assert any("worker traceback" in note for note in notes)
+
+
+def boom_with_context(state):
+    from repro import obs
+
+    obs.set_context(host=1, epoch=7)
+    exc = RuntimeError("located")
+    exc.payload = lambda: None  # unpicklable: forces normalisation
+    raise exc
+
+
+def test_worker_exception_carries_host_epoch_context():
+    # The obs (host, epoch) context is attached to the note even for
+    # exceptions that had to be normalised, so a crash in a 40-host
+    # fleet says which host and epoch it came from.
+    with ActorPool(2) as pool:
+        pool.scatter(_states())
+        if pool.is_local:  # pragma: no cover - forkless sandbox
+            pytest.skip("sandbox cannot fork")
+        with pytest.raises(RuntimeError, match="located") as info:
+            pool.apply(boom_with_context, 0)
+        notes = getattr(info.value, "__notes__", [])
+        assert any("host=1 epoch=7" in note for note in notes)

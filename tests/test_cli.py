@@ -119,3 +119,66 @@ def test_cluster_command_uses_cache(tmp_path, capsys):
     second = capsys.readouterr().out
     assert "1 hits" in second
     assert first.splitlines()[:5] == second.splitlines()[:5]
+
+
+@pytest.fixture
+def _trace_env(monkeypatch):
+    """Pin the REPRO_TRACE* keys so the commands' own writes to
+    os.environ are rolled back at teardown, and drop the obs singleton
+    the traced command leaves enabled."""
+    from repro import obs
+
+    for key in ("REPRO_TRACE", "REPRO_TRACE_OUT", "REPRO_TRACE_EVENTS",
+                "REPRO_TRACE_SAMPLE"):
+        monkeypatch.setenv(key, "")
+    # A warm result cache would skip the runs that emit the events.
+    monkeypatch.setenv("REPRO_CACHE_DIR", "")
+    yield
+    obs.disable()
+    obs.clear_context()
+    obs.set_trace_out_dir(None)
+
+
+def test_cluster_trace_out_exports_artifacts(tmp_path, capsys, _trace_env):
+    out = tmp_path / "trace"
+    code = main([
+        "cluster", "--hosts", "2", "--host-mib", "512", "--epochs", "3",
+        "--trace-out", str(out),
+    ])
+    assert code == 0
+    stdout = capsys.readouterr().out
+    assert "fleet FMFI" in stdout
+    assert "trace exported to" in stdout
+    for name in ("events.jsonl", "trace.json", "series.csv", "spans.json"):
+        assert (out / name).stat().st_size > 0
+
+
+def test_trace_subcommand_defaults_out_dir(tmp_path, capsys, monkeypatch,
+                                           _trace_env):
+    monkeypatch.chdir(tmp_path)
+    assert main(["trace", "fig16", "--epochs", "4", "-w", "Shore"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 16" in out
+    assert (tmp_path / "trace" / "fig16" / "events.jsonl").exists()
+
+
+def test_trace_flags_map_to_parser():
+    args = build_parser().parse_args([
+        "run", "Redis", "--trace-out", "d", "--trace-events", "128",
+        "--trace-sample", "0.5",
+    ])
+    assert args.trace_out == "d"
+    assert args.trace_events == 128
+    assert args.trace_sample == 0.5
+
+
+def test_profile_report_lands_in_trace_dir(tmp_path, capsys, _trace_env):
+    out = tmp_path / "trace"
+    code = main([
+        "cluster", "--hosts", "2", "--host-mib", "512", "--epochs", "2",
+        "--profile", "5", "--trace-out", str(out),
+    ])
+    assert code == 0
+    stdout = capsys.readouterr().out
+    assert "cumulative" in stdout  # still printed
+    assert "cumulative" in (out / "profile.txt").read_text()
