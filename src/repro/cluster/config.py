@@ -123,6 +123,11 @@ class ClusterConfig:
     #: paths, same flags as SimulationConfig).
     batch_faults: bool = True
     incremental_index: bool = True
+    #: Profiled hot-path batch kernels (bitset frame scans, span-level
+    #: map/free batches, quiescent-range touch cache, memoized TLB
+    #: evaluation, incremental consolidation scores) — bit-identical to
+    #: the per-frame reference paths; same flag as SimulationConfig.
+    fast_kernels: bool = True
     #: Fleet IPC fast path (all bit-identical execution-strategy knobs,
     #: excluded from the result-cache key like the two flags above).
     #: ``fused_epochs`` collapses each epoch's churn ops and the step

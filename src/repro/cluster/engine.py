@@ -252,6 +252,13 @@ class ClusterSimulation:
         #: state, not host state).
         self._committed = [0] * self.config.hosts
         self._avail_base = [view.available_pages for view in self._views]
+        #: Per-host consolidation scores (overloaded?, underloaded?,
+        #: cheapest tenant), None = dirty.  Every view update goes through
+        #: :meth:`_set_view`, which invalidates the score only when the
+        #: view actually changed — so between consolidation passes only
+        #: hosts touched by arrivals, departures, resizes, migrations or
+        #: state-changing steps are re-scored.
+        self._scores: list[tuple | None] = [None] * self.config.hosts
         #: Spooled record chunks awaiting an ordered merge, as
         #: ``(host_records, tenant_records)`` per drained host.
         self._spooled: list[tuple] = []
@@ -518,12 +525,12 @@ class ClusterSimulation:
         # set — it allocates nothing — which the fused-vs-reference
         # equivalence test pins down.
         view = self._views[index]
-        self._views[index] = replace(
+        self._set_view(replace(
             view,
             available_pages=self._avail_base[index]
             - int(self._committed[index] * self.config.placement_headroom),
             residents=tuple(sorted(view.residents + ((event.ordinal, 0),))),
-        )
+        ))
 
     def _ingest_view(self, payload: tuple) -> None:
         if payload[0] == "full":
@@ -531,7 +538,15 @@ class ClusterSimulation:
         else:
             _, index, mask, values = payload
             view = apply_view_delta(self._views[index], mask, values)
-        self._views[view.index] = view
+        self._set_view(view)
+
+    def _set_view(self, view: HostView) -> None:
+        """Install a host view, invalidating its cached consolidation
+        score only if the view actually changed."""
+        index = view.index
+        if self._scores[index] is not None and view != self._views[index]:
+            self._scores[index] = None
+        self._views[index] = view
 
     def _merge_spooled(self) -> None:
         """Append drained records in the reference protocol's order.
@@ -573,7 +588,7 @@ class ClusterSimulation:
         for host_records, tenant_records, view in outputs:
             self.result.host_epochs.extend(host_records)
             self.result.tenant_epochs.extend(tenant_records)
-            self._views[view.index] = view
+            self._set_view(view)
 
     # ------------------------------------------------------------------
     # Churn events (reference protocol)
@@ -614,7 +629,7 @@ class ClusterSimulation:
                         on=index,
                         grow=event.grow,
                     )
-                self._views[index] = view
+                self._set_view(view)
 
     def _arrive(self, pool: ActorPool, event: TraceEvent, epoch: int) -> None:
         guest_pages = event.guest_mib * MIB // PAGE_SIZE
@@ -640,9 +655,9 @@ class ClusterSimulation:
             on=index,
         )
         workload = make_workload(event.workload)
-        self._views[index] = pool.apply(
+        self._set_view(pool.apply(
             _act_add_tenant, index, event.ordinal, event.guest_mib, workload, epoch
-        )
+        ))
         self._vm_host[event.ordinal] = index
         self._guest_pages[event.ordinal] = guest_pages
         self._committed[index] += guest_pages
@@ -657,32 +672,60 @@ class ClusterSimulation:
         with obs.span("fleet.consolidate"):
             self._consolidate_body(pool, epoch)
 
+    def _host_score(self, index: int) -> tuple:
+        """(overloaded, underloaded, cheapest ordinal) of the host's
+        current view; cached per host and recomputed only when
+        :meth:`_set_view` saw the view change (``fast_kernels`` off
+        recomputes every time)."""
+        if self.config.fast_kernels:
+            score = self._scores[index]
+            if score is not None:
+                return score
+        view = self._views[index]
+        consolidation = self.config.consolidation
+        # The cheapest VM to move: the smallest resident set.
+        cheapest = (
+            min(view.residents, key=lambda r: (r[1], r[0]))[0]
+            if view.residents
+            else None
+        )
+        score = (
+            bool(view.residents) and view.utilization > consolidation.overload,
+            bool(view.residents) and view.utilization < consolidation.underload,
+            cheapest,
+        )
+        if self.config.fast_kernels:
+            self._scores[index] = score
+        return score
+
     def _consolidate_body(self, pool: ActorPool, epoch: int) -> None:
         consolidation = self.config.consolidation
         budget = consolidation.max_migrations
         for index in range(len(self._views)):
-            while (
-                budget > 0
-                and self._views[index].residents
-                and self._views[index].utilization > consolidation.overload
-            ):
-                # Shed the cheapest VM to move: the smallest resident set.
-                ordinal = min(
-                    self._views[index].residents, key=lambda r: (r[1], r[0])
-                )[0]
-                if not self._migrate(pool, ordinal, index, epoch, "overload"):
+            while budget > 0:
+                with obs.span("consolidate.score"):
+                    overloaded, _, cheapest = self._host_score(index)
+                if not overloaded:
+                    break
+                with obs.span("consolidate.evict"):
+                    moved = self._migrate(pool, cheapest, index, epoch, "overload")
+                if not moved:
                     break
                 budget -= 1
         for index in range(len(self._views)):
             if budget <= 0:
                 break
-            view = self._views[index]
-            if not view.residents or view.utilization >= consolidation.underload:
+            with obs.span("consolidate.score"):
+                _, underloaded, _ = self._host_score(index)
+            if not underloaded:
                 continue
+            view = self._views[index]
             for ordinal, _ in view.residents:
                 if budget <= 0:
                     break
-                if not self._migrate(pool, ordinal, index, epoch, "underload"):
+                with obs.span("consolidate.evict"):
+                    moved = self._migrate(pool, ordinal, index, epoch, "underload")
+                if not moved:
                     break
                 budget -= 1
 
@@ -710,8 +753,8 @@ class ClusterSimulation:
                 _act_migrate_in_fused,
                 (migration,),
             )
-            self._views[source] = src_view
-            self._views[destination] = dst_view
+            self._set_view(src_view)
+            self._set_view(dst_view)
             record = build_record(
                 epoch=epoch,
                 ordinal=ordinal,
@@ -725,10 +768,10 @@ class ClusterSimulation:
             tenant, state, runs, schedule, src_view = pool.apply(
                 migrate_out, source, ordinal, migration
             )
-            self._views[source] = src_view
-            self._views[destination] = pool.apply(
+            self._set_view(src_view)
+            self._set_view(pool.apply(
                 migrate_in, destination, tenant, state, runs, migration
-            )
+            ))
             record = build_record(
                 epoch=epoch,
                 ordinal=ordinal,
@@ -768,6 +811,7 @@ class ClusterSimulation:
 EXECUTION_STRATEGY_FIELDS = (
     "batch_faults",
     "incremental_index",
+    "fast_kernels",
     "fused_epochs",
     "view_deltas",
     "spool_epochs",

@@ -63,6 +63,33 @@ def resident_runs(vm: VM) -> list[tuple[int, int]]:
     of the few events that sheds it.
     """
     table = vm.guest.table(PROCESS)
+    if vm.guest.fast_kernels:
+        # Span kernel: huge mappings are already aligned 512-page runs and
+        # their guest-physical blocks never overlap base-mapped frames
+        # (both come from disjoint gpa-space allocations), so the sorted
+        # union of pages equals the sorted merge of the two run lists.
+        runs = [
+            (gpregion * PAGES_PER_HUGE, PAGES_PER_HUGE)
+            for _, gpregion in table.huge_mappings()
+        ]
+        start = count = 0
+        for gpn in sorted({gpn for _, gpn in table.base_mappings()}):
+            if count and gpn == start + count:
+                count += 1
+                continue
+            if count:
+                runs.append((start, count))
+            start, count = gpn, 1
+        if count:
+            runs.append((start, count))
+        runs.sort()
+        merged: list[tuple[int, int]] = []
+        for rstart, rcount in runs:
+            if merged and rstart == merged[-1][0] + merged[-1][1]:
+                merged[-1] = (merged[-1][0], merged[-1][1] + rcount)
+            else:
+                merged.append((rstart, rcount))
+        return merged
     gpns: set[int] = set()
     for _, gpregion in table.huge_mappings():
         base = gpregion * PAGES_PER_HUGE
@@ -174,7 +201,8 @@ class Host:
         self.platform = Platform.with_mib(config.host_mib, self.spec.make_host())
         self.platform.batch_faults = config.batch_faults
         self.platform.use_index = config.incremental_index
-        self.tlb_model = TLBModel(config.tlb)
+        self.platform.fast_kernels = config.fast_kernels
+        self.tlb_model = TLBModel(config.tlb, memoize=config.fast_kernels)
         # Distinct noise stream per host: a large odd stride keeps the
         # per-host seeds disjoint from the per-tenant workload seeds.
         self.noise = NoiseAgent(

@@ -29,6 +29,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["GuestPromoter", "HostPromoter"]
 
 
+def _iter_set_bits(base: int, bits: int):
+    """Frames ``base + i`` for each set bit *i*, lowest first — the same
+    ascending order as ``range(base, base + PAGES_PER_HUGE)`` filtered to
+    occupied frames."""
+    while bits:
+        low = bits & -bits
+        yield base + low.bit_length() - 1
+        bits ^= low
+
+
 class GuestPromoter:
     """Turns type-2 mis-aligned *host* huge pages into well-aligned ones."""
 
@@ -144,7 +154,13 @@ class GuestPromoter:
                 return tied[0]
         counts: dict[int, int] = {}
         start = gpregion * PAGES_PER_HUGE
-        for frame in range(start, start + PAGES_PER_HUGE):
+        bits = layer.rmap_bits(gpregion) if layer.fast_kernels else None
+        frames = (
+            _iter_set_bits(start, bits)
+            if bits is not None
+            else range(start, start + PAGES_PER_HUGE)
+        )
+        for frame in frames:
             owner = layer.owner_of_frame(frame)
             if owner is not None:
                 _, vpn = owner
@@ -166,7 +182,18 @@ class GuestPromoter:
         start = gpregion * PAGES_PER_HUGE
         vbase = vregion * PAGES_PER_HUGE
         evicted = 0
-        for frame in range(start, start + PAGES_PER_HUGE):
+        # Snapshot bitset iteration: the loop body only ever clears the
+        # *current* frame's occupancy bit (relocations move pages out of
+        # the region, scratch frames live outside it), so walking the
+        # snapshot visits exactly the frames the 512-probe walk finds
+        # occupied, in the same ascending order.
+        bits = layer.rmap_bits(gpregion) if layer.fast_kernels else None
+        frames = (
+            _iter_set_bits(start, bits)
+            if bits is not None
+            else range(start, start + PAGES_PER_HUGE)
+        )
+        for frame in frames:
             owner = layer.owner_of_frame(frame)
             if owner is None:
                 continue

@@ -167,11 +167,13 @@ class GeminiRuntime:
                         state, result.host_regions(vm_id), now, tlb_misses
                     )
             with obs.span("gemini.host"):
-                for vm_id in self._guests:
-                    self._host_round(vm_id, result.guest_regions(vm_id), now)
-                if self.config.enable_ema_hb:
-                    self.host_promoter.run()
-                self.host_booking.expire(now)
+                with obs.span("gemini.host.scan"):
+                    for vm_id in self._guests:
+                        self._host_round(vm_id, result.guest_regions(vm_id), now)
+                with obs.span("gemini.host.promote"):
+                    if self.config.enable_ema_hb:
+                        self.host_promoter.run()
+                    self.host_booking.expire(now)
             self.host_controller.observe(tlb_misses, host_fmfi)
 
     def _guest_round(
@@ -261,7 +263,16 @@ class GeminiRuntime:
 
     def _free_host_region(self) -> int | None:
         """Lowest free huge-aligned host region, or None."""
-        for start, npages in self.platform.memory.free_regions():
+        memory = self.platform.memory
+        if self.platform.fast_kernels:
+            # An aligned fit needs at least PAGES_PER_HUGE free pages, so
+            # only the region index's large entries can qualify; both
+            # listings ascend by start frame, so the first hit is the
+            # same region the full walk would return.
+            regions = memory.large_free_regions()
+        else:
+            regions = memory.free_regions()
+        for start, npages in regions:
             aligned = huge_align_up(start)
             if aligned + PAGES_PER_HUGE <= start + npages:
                 return aligned // PAGES_PER_HUGE

@@ -48,6 +48,27 @@ class Platform:
         #: Per-VM translation indices, populated by :meth:`create_vm`
         #: when ``use_index`` is set.
         self.indices: dict[int, VMTranslationIndex] = {}
+        #: Serve hot paths through the batch/bitset kernels and the
+        #: quiescent-range cache (same results, O(words)/O(spans) work);
+        #: assign through the property to reach the MM layers too.
+        self._fast_kernels = True
+        #: vm id -> {(start, npages): index.invalidation_gen} for ranges
+        #: proven fully translated at both layers.  While the generation
+        #: matches, re-touching the range is a no-op and skips in O(1).
+        self._quiescent: dict[int, dict[tuple[int, int], int]] = {}
+
+    @property
+    def fast_kernels(self) -> bool:
+        return self._fast_kernels
+
+    @fast_kernels.setter
+    def fast_kernels(self, value: bool) -> None:
+        self._fast_kernels = bool(value)
+        self.host.fast_kernels = self._fast_kernels
+        for vm in self.vms.values():
+            vm.guest.fast_kernels = self._fast_kernels
+        if not self._fast_kernels:
+            self._quiescent.clear()
 
     @classmethod
     def with_mib(
@@ -86,6 +107,7 @@ class Platform:
         # Gemini's huge bucket keys off this.
         ept = self.host.table(vm.id)
         vm.guest.alignment_probe = ept.is_huge
+        vm.guest.fast_kernels = self._fast_kernels
         if self.use_index:
             guest_table = vm.guest.table(PROCESS)
             guest_table.enable_index()
@@ -106,6 +128,7 @@ class Platform:
         if vm.id not in self.vms:
             raise ValueError(f"VM id {vm.id} not attached to this platform")
         index = self.indices.pop(vm.id, None)
+        self._quiescent.pop(vm.id, None)
         if index is not None:
             vm.guest.table(PROCESS).remove_watcher(index)
             self.ept(vm.id).remove_watcher(index)
@@ -166,6 +189,17 @@ class Platform:
                 self.touch(vm, vpn)
             return
         index = self.indices.get(vm.id)
+        if self._fast_kernels and index is not None and npages > 0:
+            # Quiescent-range cache: a range once proven fully translated
+            # at both layers stays a no-op until some region anywhere
+            # leaves the fully-translated set (demote, unmap, remap,
+            # migration teardown) — every such event bumps the index's
+            # invalidation generation, so a matching fingerprint makes the
+            # replay O(1) instead of O(regions).
+            cache = self._quiescent.get(vm.id)
+            if cache is not None and cache.get((start, npages)) == index.invalidation_gen:
+                return
+        all_skipped = True
         pos = start
         while pos < end:
             if index is not None and (pos == start or pos % PAGES_PER_HUGE == 0):
@@ -175,6 +209,7 @@ class Platform:
                 if index.region_translated(vregion):
                     pos = min(end, (vregion + 1) * PAGES_PER_HUGE)
                     continue
+            all_skipped = False
             if vm.translate(pos) is not None:
                 # Guest-mapped: only the host layer can fault; no batching
                 # needed, the per-page path is already O(1) here.
@@ -190,6 +225,8 @@ class Platform:
                 pos += 1
                 continue
             pos += self._touch_unmapped_run(vm, pos, n)
+        if all_skipped and self._fast_kernels and index is not None and npages > 0:
+            self._quiescent.setdefault(vm.id, {})[(start, npages)] = index.invalidation_gen
 
     def _touch_unmapped_run(self, vm: VM, start: int, npages: int) -> int:
         """Fault a window starting at a guest-unmapped page; returns the

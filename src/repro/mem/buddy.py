@@ -296,6 +296,61 @@ class BuddyAllocator:
             self._insert(buddy, source)
         return start
 
+    def alloc_frames(self, count: int) -> list[int]:
+        """Batch equivalent of ``[self.alloc(0) for _ in range(count)]``.
+
+        Sequential order-0 allocation drains one free block at a time:
+        ``alloc(0)`` pops the lowest block of the smallest non-empty order
+        and splits it, leaving its remainder as the only blocks below that
+        order — so the next allocations return the block's frames in
+        ascending order until it is consumed.  The batch claims whole
+        blocks at once and re-inserts the remainder of a partially-used
+        block as the same maximal decomposition the splits would leave,
+        reproducing the identical free-list and region state.
+        """
+        frames: list[int] = []
+        remaining = count
+        while remaining > 0:
+            for source in range(MAX_ORDER + 1):
+                if self._free[source]:
+                    break
+            else:
+                raise AllocationError("no free block of order >= 0")
+            start = self._free[source].pop_lowest()
+            size = 1 << source
+            self.free_pages -= size
+            self._regions.remove(start, start + size)
+            take = size if size <= remaining else remaining
+            frames.extend(range(start, start + take))
+            if take < size:
+                for block, border in _decompose(start + take, size - take):
+                    self._insert(block, border)
+            remaining -= take
+        return frames
+
+    def free_frames(self, frames: list[int]) -> None:
+        """Batch equivalent of ``for f in frames: self.free(f, 0)``.
+
+        Buddy coalescing is confluent — the final free-block set depends
+        only on which frames are free, not on the order frames were
+        returned — so the batch may sort the frames, merge them into
+        contiguous runs and release each run as its maximal aligned
+        blocks, cascading merges from there.
+        """
+        if not frames:
+            return
+        ordered = sorted(frames)
+        run_start = prev = ordered[0]
+        for frame in ordered[1:]:
+            if frame == prev + 1:
+                prev = frame
+                continue
+            if frame == prev:
+                raise ValueError(f"double free of block ({frame}, order 0)")
+            self.free_range(run_start, prev - run_start + 1)
+            run_start = prev = frame
+        self.free_range(run_start, prev - run_start + 1)
+
     def free(self, start: int, order: int = 0) -> None:
         """Return block (start, order) to the allocator, merging buddies."""
         self._check_order(order)
@@ -303,7 +358,7 @@ class BuddyAllocator:
             raise ValueError(f"block start {start} not aligned to order {order}")
         if not self._within(start, 1 << order):
             raise ValueError(f"block ({start}, order {order}) outside memory")
-        if self._overlaps_free(start, 1 << order):
+        if self._regions.pages_in_range(start, 1 << order) > 0:
             raise ValueError(f"double free of block ({start}, order {order})")
         while order < MAX_ORDER:
             buddy = start ^ (1 << order)
@@ -449,16 +504,6 @@ class BuddyAllocator:
             if cstart in self._free[corder]:
                 return cstart, corder
         return None
-
-    def _overlaps_free(self, start: int, npages: int) -> bool:
-        frame = start
-        end = start + npages
-        while frame < end:
-            container = self._containing_free_block(frame, 0)
-            if container is not None:
-                return True
-            frame += 1
-        return False
 
     @staticmethod
     def _check_order(order: int) -> None:

@@ -58,6 +58,44 @@ class PhysicalMemory:
         """Claim the exact page range (must lie within a single node)."""
         self.node_of(start).alloc_range(start, npages)
 
+    def alloc_frames(self, count: int, node: int | None = None) -> list[int]:
+        """Batch equivalent of ``[self.alloc(0, node) for _ in range(count)]``.
+
+        Sequential order-0 allocation drains each node in preference order
+        before falling back to the next, so the batch takes up to
+        ``free_pages`` frames from each node's batch kernel in turn.
+        """
+        frames: list[int] = []
+        remaining = count
+        for allocator in self._node_order(node):
+            if remaining <= 0:
+                break
+            take = min(remaining, allocator.free_pages)
+            if take:
+                frames.extend(allocator.alloc_frames(take))
+                remaining -= take
+        if remaining > 0:
+            raise AllocationError("no free block of order >= 0 on any node")
+        return frames
+
+    def free_frames(self, frames: list[int]) -> None:
+        """Batch equivalent of ``for f in frames: self.free(f, 0)``;
+        frames may belong to any mix of nodes."""
+        if not frames:
+            return
+        ordered = sorted(frames)
+        node = self.node_of(ordered[0])
+        node_end = node.base + node.total_pages
+        batch: list[int] = []
+        for frame in ordered:
+            if frame >= node_end:
+                node.free_frames(batch)
+                batch = []
+                node = self.node_of(frame)
+                node_end = node.base + node.total_pages
+            batch.append(frame)
+        node.free_frames(batch)
+
     def free(self, start: int, order: int = 0) -> None:
         self.node_of(start).free(start, order)
 

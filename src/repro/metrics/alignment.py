@@ -86,8 +86,15 @@ def classify_region(guest_table: PageTable, ept: PageTable, vregion: int) -> lis
         return []
     host_huge = 0
     base = 0
+    # Per-call memo: all pages of one guest-physical region share a single
+    # is_huge answer, so probe the EPT once per region instead of per page.
+    huge_memo: dict[int, bool] = {}
     for _, gpn in mappings:
-        if ept.is_huge(gpn // PAGES_PER_HUGE):
+        gpregion = gpn // PAGES_PER_HUGE
+        is_huge = huge_memo.get(gpregion)
+        if is_huge is None:
+            is_huge = huge_memo[gpregion] = ept.is_huge(gpregion)
+        if is_huge:
             host_huge += 1
         else:
             base += 1

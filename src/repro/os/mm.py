@@ -43,6 +43,21 @@ PROCESS = 0
 _EMPTY_COUNTS: dict[tuple[int, int], int] = {}
 
 
+def _contiguous_runs(frames: list[int]) -> Iterator[tuple[int, int]]:
+    """Group a frame list into (start, count) runs of consecutive values,
+    preserving the list order."""
+    if not frames:
+        return
+    run_start = prev = frames[0]
+    for frame in frames[1:]:
+        if frame == prev + 1:
+            prev = frame
+            continue
+        yield run_start, prev - run_start + 1
+        run_start = prev = frame
+    yield run_start, prev - run_start + 1
+
+
 class OutOfMemory(Exception):
     """Raised when an allocation fails even after reclaim."""
 
@@ -78,9 +93,18 @@ class MemoryLayer:
         #: (vstart, vend) of the enclosing VMA.  Wired by the VM on its
         #: guest layer; stays None in the host layer.
         self.vma_bounds: Callable[[int, int], tuple[int, int] | None] | None = None
+        #: Serve batchable operations through the span kernels (same
+        #: results, O(spans)/O(words) work); False forces the per-page
+        #: reference paths everywhere.
+        self.fast_kernels = True
         self._tables: dict[int, PageTable] = {}
         #: reverse map for base mappings: pfn -> (client, vpn)
         self._rmap_base: dict[int, tuple[int, int]] = {}
+        #: per-region occupancy bitsets, maintained with the owner index:
+        #: physical region -> 512-bit int, bit ``pfn - region * 512`` set
+        #: iff *pfn* has a base reverse-map entry.  Promoter scans walk
+        #: set bits instead of probing all 512 frames.
+        self._rmap_bits: dict[int, int] = {}
         #: optional incremental owner summary: physical region ->
         #: {(client, vregion): frames owned}; None when disabled.  Lets
         #: Gemini's promoters find a region's dominant owner without 512
@@ -137,17 +161,47 @@ class MemoryLayer:
             return
         self.memory.free(pfn, 0)
 
+    def _free_frames_batch(self, pfns) -> None:
+        """Batch of :meth:`release_frame`: shared frames drop a reference
+        one by one, everything else goes to the buddy batch kernel (buddy
+        coalescing is order-independent, so the final state matches the
+        sequential releases)."""
+        refs = self._frame_refs
+        if refs:
+            direct: list[int] = []
+            for pfn in pfns:
+                if pfn in refs:
+                    self.release_frame(pfn)
+                else:
+                    direct.append(pfn)
+            self.memory.free_frames(direct)
+        else:
+            self.memory.free_frames(list(pfns))
+
     def enable_owner_index(self) -> None:
         """Turn on incremental per-region owner counts (idempotent);
         bootstraps from the current reverse map."""
         if self._owner_counts is not None:
             return
         counts: dict[int, dict[tuple[int, int], int]] = {}
+        bits: dict[int, int] = {}
         for pfn, (client, vpn) in self._rmap_base.items():
             key = (client, vpn // PAGES_PER_HUGE)
-            bucket = counts.setdefault(pfn // PAGES_PER_HUGE, {})
+            pregion = pfn // PAGES_PER_HUGE
+            bucket = counts.setdefault(pregion, {})
             bucket[key] = bucket.get(key, 0) + 1
+            bits[pregion] = bits.get(pregion, 0) | (
+                1 << (pfn - pregion * PAGES_PER_HUGE)
+            )
         self._owner_counts = counts
+        self._rmap_bits = bits
+
+    def rmap_bits(self, pregion: int) -> int | None:
+        """512-bit occupancy word of *pregion* (bit set iff the frame has
+        a base reverse-map entry); None when the owner index is off."""
+        if self._owner_counts is None:
+            return None
+        return self._rmap_bits.get(pregion, 0)
 
     def region_owner_counts(self, pregion: int) -> dict[tuple[int, int], int] | None:
         """Read-only ``{(client, vregion): frames}`` owner summary of
@@ -168,8 +222,39 @@ class MemoryLayer:
         counts = self._owner_counts
         if counts is not None:
             key = (client, vpn // PAGES_PER_HUGE)
-            bucket = counts.setdefault(pfn // PAGES_PER_HUGE, {})
+            pregion = pfn // PAGES_PER_HUGE
+            bucket = counts.setdefault(pregion, {})
             bucket[key] = bucket.get(key, 0) + 1
+            bits = self._rmap_bits
+            bits[pregion] = bits.get(pregion, 0) | (
+                1 << (pfn - pregion * PAGES_PER_HUGE)
+            )
+
+    def _set_rmap_run(self, pfn: int, client: int, vpn: int, count: int) -> None:
+        """Batch of :meth:`_set_rmap` over the contiguous, same-virtual-
+        region run ``pfn + i <- (client, vpn + i)``."""
+        self._rmap_base.update(
+            zip(
+                range(pfn, pfn + count),
+                ((client, v) for v in range(vpn, vpn + count)),
+            )
+        )
+        counts = self._owner_counts
+        if counts is None:
+            return
+        key = (client, vpn // PAGES_PER_HUGE)
+        bits = self._rmap_bits
+        pos = pfn
+        end = pfn + count
+        while pos < end:
+            pregion = pos // PAGES_PER_HUGE
+            chunk = min(end, (pregion + 1) * PAGES_PER_HUGE) - pos
+            bucket = counts.setdefault(pregion, {})
+            bucket[key] = bucket.get(key, 0) + chunk
+            bits[pregion] = bits.get(pregion, 0) | (
+                ((1 << chunk) - 1) << (pos - pregion * PAGES_PER_HUGE)
+            )
+            pos += chunk
 
     def _del_rmap(self, pfn: int) -> None:
         client, vpn = self._rmap_base.pop(pfn)
@@ -185,6 +270,52 @@ class MemoryLayer:
                 del bucket[key]
                 if not bucket:
                     del counts[pregion]
+            bits = self._rmap_bits
+            word = bits[pregion] & ~(1 << (pfn - pregion * PAGES_PER_HUGE))
+            if word:
+                bits[pregion] = word
+            else:
+                del bits[pregion]
+
+    def _drop_rmap_region(
+        self, client: int, vregion: int, mappings: dict[int, int]
+    ) -> None:
+        """Batch of :meth:`_drop_rmap` over one virtual region's base
+        mappings, with the owner-summary updates aggregated per physical
+        region."""
+        rmap = self._rmap_base
+        counts = self._owner_counts
+        if counts is None:
+            for vpn, pfn in mappings.items():
+                if rmap.get(pfn) == (client, vpn):
+                    del rmap[pfn]
+            return
+        key = (client, vregion)
+        dropped: dict[int, list[int]] = {}
+        for vpn, pfn in mappings.items():
+            if rmap.get(pfn) != (client, vpn):
+                continue
+            del rmap[pfn]
+            dropped.setdefault(pfn // PAGES_PER_HUGE, []).append(pfn)
+        bits = self._rmap_bits
+        for pregion, pfns in dropped.items():
+            bucket = counts[pregion]
+            remaining = bucket[key] - len(pfns)
+            if remaining:
+                bucket[key] = remaining
+            else:
+                del bucket[key]
+                if not bucket:
+                    del counts[pregion]
+            mask = 0
+            base = pregion * PAGES_PER_HUGE
+            for pfn in pfns:
+                mask |= 1 << (pfn - base)
+            word = bits[pregion] & ~mask
+            if word:
+                bits[pregion] = word
+            else:
+                del bits[pregion]
 
     def _drop_rmap(self, pfn: int, client: int, vpn: int) -> None:
         """Remove the reverse-map entry if it names this mapping (shared
@@ -331,16 +462,33 @@ class MemoryLayer:
                         continue
                     frame, count = batch
                     if frame is None:
-                        for _ in range(count):
-                            frame = self.alloc_base_frame()
-                            table.map_base(pos, frame)
-                            self._set_rmap(frame, client, pos)
-                            emit(pos, frame, 1, "base")
-                            pos += 1
+                        if self.fast_kernels and self.memory.free_pages >= count:
+                            # Order-0 allocation cannot fail while frames
+                            # remain, so the batch kernel reproduces the
+                            # per-page alloc sequence exactly; the frames
+                            # arrive in allocation order and pair with
+                            # ascending vpns just as the loop would.
+                            frames = self.memory.alloc_frames(count)
+                            for rstart, rcount in _contiguous_runs(frames):
+                                table.map_base_run(pos, rstart, rcount)
+                                self._set_rmap_run(rstart, client, pos, rcount)
+                                emit(pos, rstart, rcount, "base")
+                                pos += rcount
+                        else:
+                            for _ in range(count):
+                                frame = self.alloc_base_frame()
+                                table.map_base(pos, frame)
+                                self._set_rmap(frame, client, pos)
+                                emit(pos, frame, 1, "base")
+                                pos += 1
                     else:
-                        for i in range(count):
-                            table.map_base(pos + i, frame + i)
-                            self._set_rmap(frame + i, client, pos + i)
+                        if self.fast_kernels:
+                            table.map_base_run(pos, frame, count)
+                            self._set_rmap_run(frame, client, pos, count)
+                        else:
+                            for i in range(count):
+                                table.map_base(pos + i, frame + i)
+                                self._set_rmap(frame + i, client, pos + i)
                         emit(pos, frame, count, "base")
                         pos += count
                     base_faults += count
@@ -413,10 +561,15 @@ class MemoryLayer:
         pregion = self.alloc_huge_region()
         if pregion is None:
             return False
-        for vpn, old_pfn in mappings.items():
-            table.unmap_base(vpn)
-            self._drop_rmap(old_pfn, client, vpn)
-            self.release_frame(old_pfn)
+        if self.fast_kernels:
+            table.unmap_region_base(vregion)
+            self._drop_rmap_region(client, vregion, mappings)
+            self._free_frames_batch(mappings.values())
+        else:
+            for vpn, old_pfn in mappings.items():
+                table.unmap_base(vpn)
+                self._drop_rmap(old_pfn, client, vpn)
+                self.release_frame(old_pfn)
         table.map_huge(vregion, pregion)
         self._rmap_huge[pregion] = (client, vregion)
         populated = len(mappings)
@@ -559,8 +712,16 @@ class MemoryLayer:
             return
         table.demote(vregion)
         del self._rmap_huge[pregion]
-        for vpn, pfn in table.region_items(vregion):
-            self._set_rmap(pfn, client, vpn)
+        if self.fast_kernels:
+            self._set_rmap_run(
+                pregion * PAGES_PER_HUGE,
+                client,
+                vregion * PAGES_PER_HUGE,
+                PAGES_PER_HUGE,
+            )
+        else:
+            for vpn, pfn in table.region_items(vregion):
+                self._set_rmap(pfn, client, vpn)
         self._bloat.pop((client, vregion), None)
         self.ledger.charge("demotion", costs.INPLACE_PROMOTION_CYCLES)
         self._shootdown()
@@ -589,6 +750,12 @@ class MemoryLayer:
                     self._free_huge_mapping(client, vregion)
                     continue
                 self.demote(client, vregion)
+            if self.fast_kernels and start <= rstart and rend <= end:
+                mappings = table.unmap_region_base(vregion)
+                if mappings:
+                    self._drop_rmap_region(client, vregion, mappings)
+                    self._free_frames_batch(mappings.values())
+                continue
             for vpn, pfn in table.region_mappings(vregion).items():
                 if start <= vpn < end:
                     table.unmap_base(vpn)
@@ -620,12 +787,29 @@ class MemoryLayer:
             self._bloat.pop((client, vregion), None)
             self.memory.free_range(pregion * PAGES_PER_HUGE, PAGES_PER_HUGE)
             freed += PAGES_PER_HUGE
-        for vpn, pfn in list(table.base_mappings()):
-            table.unmap_base(vpn)
-            self._drop_rmap(pfn, client, vpn)
-            if pfn not in self._frame_refs:
-                freed += 1
-            self.release_frame(pfn)
+        if self.fast_kernels and not table._watchers:
+            # The table is being discarded and nothing observes its events,
+            # so the per-page unmaps are pure bookkeeping on dead state;
+            # only the rmap drops, the refcount releases, and the buddy
+            # frees are observable.  Buddy coalescing is order-independent,
+            # so the batch free lands on the same allocator state.
+            refs = self._frame_refs
+            direct: list[int] = []
+            for vpn, pfn in table.base_mappings():
+                self._drop_rmap(pfn, client, vpn)
+                if pfn in refs:
+                    self.release_frame(pfn)
+                else:
+                    freed += 1
+                    direct.append(pfn)
+            self.memory.free_frames(direct)
+        else:
+            for vpn, pfn in list(table.base_mappings()):
+                table.unmap_base(vpn)
+                self._drop_rmap(pfn, client, vpn)
+                if pfn not in self._frame_refs:
+                    freed += 1
+                self.release_frame(pfn)
         # Let the policy forget any per-client placement state (offset
         # descriptors, contiguity lists); the huge range covers every vpn.
         self.policy.on_unmap(client, 0, 1 << 52)

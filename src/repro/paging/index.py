@@ -70,6 +70,12 @@ class VMTranslationIndex(TableWatcher):
         self._translated: set[int] = set()
         self._tr_fwd: dict[int, tuple[int, ...]] = {}
         self._tr_deps: dict[int, set[int]] = {}
+        #: Bumped whenever a region leaves the fully-translated set.  The
+        #: platform's quiescence cache fingerprints a touch range against
+        #: this counter: an unchanged generation proves no translation the
+        #: range might depend on was removed since the range last replayed
+        #: as a pure skip, so the whole replay is a no-op.
+        self.invalidation_gen = 0
         self._bootstrap()
         guest_table.add_watcher(self)
         ept.add_watcher(self)
@@ -192,6 +198,7 @@ class VMTranslationIndex(TableWatcher):
     def _drop_translated(self, vregion: int) -> None:
         if vregion not in self._translated:
             return
+        self.invalidation_gen += 1
         self._translated.discard(vregion)
         for gpregion in self._tr_fwd.pop(vregion):
             deps = self._tr_deps.get(gpregion)
@@ -202,6 +209,7 @@ class VMTranslationIndex(TableWatcher):
 
     def _drop_translated_for_gpregion(self, gpregion: int) -> None:
         for vregion in self._tr_deps.pop(gpregion, ()):
+            self.invalidation_gen += 1
             self._translated.discard(vregion)
             fwd = self._tr_fwd.pop(vregion, None)
             if fwd is None:
@@ -338,3 +346,39 @@ class VMTranslationIndex(TableWatcher):
             self._drop_translated(vregion)
         # EPT remaps replace translations without removing any, and no
         # classification input reads host frame numbers: nothing to do.
+
+    def base_mapped_run(
+        self, table: PageTable, vpn: int, pfn: int, count: int
+    ) -> None:
+        # Batched form of `base_mapped`: the run stays inside one virtual
+        # region, so the classification cache invalidates once and the
+        # live counters take per-physical-region increments.
+        if table is not self.guest:
+            return  # EPT base maps add translations only: nothing invalidates.
+        pos = pfn
+        end = pfn + count
+        while pos < end:
+            gpregion = pos // PAGES_PER_HUGE
+            chunk = min(end, (gpregion + 1) * PAGES_PER_HUGE) - pos
+            self._live_add(gpregion, chunk)
+            pos += chunk
+        self._drop_classes(vpn // PAGES_PER_HUGE)
+
+    def region_base_cleared(
+        self, table: PageTable, vregion: int, mappings: dict[int, int]
+    ) -> None:
+        # Batched form of `base_unmapped` over a whole region: identical
+        # end state, with per-page counter updates aggregated.
+        if table is self.guest:
+            drops: dict[int, int] = {}
+            for pfn in mappings.values():
+                gpregion = pfn // PAGES_PER_HUGE
+                drops[gpregion] = drops.get(gpregion, 0) + 1
+            for gpregion, count in drops.items():
+                self._live_drop(gpregion, count)
+            self._drop_classes(vregion)
+            self._drop_translated(vregion)
+        else:
+            for gpregion in {gpn // PAGES_PER_HUGE for gpn in mappings}:
+                self._drop_classes_for_gpregion(gpregion)
+                self._drop_translated_for_gpregion(gpregion)

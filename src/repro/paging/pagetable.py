@@ -87,6 +87,24 @@ class TableWatcher:
     ) -> None:
         pass
 
+    def base_mapped_run(
+        self, table: "PageTable", vpn: int, pfn: int, count: int
+    ) -> None:
+        """A contiguous run ``vpn + i -> pfn + i`` was installed.  The
+        default replays the per-page events, so watchers that only know
+        single-page hooks observe the identical sequence."""
+        for i in range(count):
+            self.base_mapped(table, vpn + i, pfn + i)
+
+    def region_base_cleared(
+        self, table: "PageTable", vregion: int, mappings: dict[int, int]
+    ) -> None:
+        """Every base mapping of *vregion* was removed at once (promotion
+        by migration, whole-region unmap).  The default replays the
+        per-page events in the order the pages were mapped."""
+        for vpn, pfn in mappings.items():
+            self.base_unmapped(table, vpn, pfn)
+
 
 class PageTable:
     """Sparse two-level-granularity translation table."""
@@ -180,6 +198,58 @@ class PageTable:
         if self._watchers:
             for watcher in self._watchers:
                 watcher.base_mapped(self, vpn, pfn)
+
+    def map_base_run(self, vpn: int, pfn: int, count: int) -> None:
+        """Install the contiguous run ``vpn + i -> pfn + i`` (one region).
+
+        Batch equivalent of *count* :meth:`map_base` calls for a run that
+        stays inside a single virtual region: same mappings, same delta
+        summary, one composite watcher event instead of *count*.
+        """
+        region = huge_region_index(vpn)
+        if huge_region_index(vpn + count - 1) != region:
+            raise MappingError(
+                f"{self.name}: run [{vpn}, {vpn + count}) crosses a region"
+            )
+        if region in self._huge:
+            raise MappingError(
+                f"{self.name}: vpn {vpn} already covered by huge mapping"
+            )
+        bucket = self._region_base.setdefault(region, {})
+        if bucket:
+            for v in range(vpn, vpn + count):
+                if v in bucket:
+                    raise MappingError(f"{self.name}: vpn {v} already mapped")
+        base = self._base
+        for i in range(count):
+            base[vpn + i] = pfn + i
+            bucket[vpn + i] = pfn + i
+        if self.use_index:
+            deltas = self._region_delta.setdefault(region, {})
+            d = pfn - vpn
+            deltas[d] = deltas.get(d, 0) + count
+        if self._watchers:
+            for watcher in self._watchers:
+                watcher.base_mapped_run(self, vpn, pfn, count)
+
+    def unmap_region_base(self, vregion: int) -> dict[int, int]:
+        """Remove every base mapping of *vregion*; return them.
+
+        Batch equivalent of :meth:`unmap_base` over the region's pages in
+        mapping order, fired to watchers as one composite event.
+        """
+        bucket = self._region_base.pop(vregion, None)
+        if bucket is None:
+            return {}
+        base = self._base
+        for vpn in bucket:
+            del base[vpn]
+        if self.use_index:
+            self._region_delta.pop(vregion, None)
+        if self._watchers:
+            for watcher in self._watchers:
+                watcher.region_base_cleared(self, vregion, bucket)
+        return bucket
 
     def map_huge(self, vregion: int, pregion: int) -> None:
         """Install a 2 MiB mapping of virtual region -> physical region."""

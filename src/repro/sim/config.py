@@ -57,6 +57,12 @@ class SimulationConfig:
     #: Bit-identical to the reference enumerate-everything path (enforced
     #: by tests); False keeps the reference path for equivalence checks.
     incremental_index: bool = True
+    #: Serve the profiled hot paths through batch kernels: bitset frame
+    #: scans, span-level map/unmap/free batches, the quiescent-range touch
+    #: cache, and memoized TLB segment evaluation.  Bit-identical to the
+    #: per-frame reference paths (enforced by the equivalence suite);
+    #: False forces the reference paths everywhere.
+    fast_kernels: bool = True
     #: Gemini runtime tunables, including the Figure 16 ablation switches
     #: (only used when the system is Gemini).
     gemini: GeminiConfig = field(default_factory=GeminiConfig)

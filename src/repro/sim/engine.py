@@ -174,7 +174,8 @@ class Simulation:
         # Must be set before the VMs are created below: the index attaches
         # its table watchers in create_vm.
         self.platform.use_index = self.config.incremental_index
-        self.tlb_model = TLBModel(self.config.tlb)
+        self.platform.fast_kernels = self.config.fast_kernels
+        self.tlb_model = TLBModel(self.config.tlb, memoize=self.config.fast_kernels)
         self.noise = NoiseAgent(
             self.platform,
             rate=self.config.noise_rate,

@@ -111,11 +111,27 @@ class TranslationStats:
 class TLBModel:
     """Evaluates translation segments against a TLB capacity."""
 
-    def __init__(self, config: TLBConfig | None = None) -> None:
+    #: Memo retention cap; the table resets wholesale when it fills so a
+    #: long churn of unique signatures cannot grow it without bound.
+    MEMO_LIMIT = 4096
+
+    def __init__(self, config: TLBConfig | None = None, memoize: bool = False) -> None:
         self.config = config or TLBConfig()
+        #: Reuse results for repeated segment signatures.  The evaluation
+        #: is a pure function of the segment tuple (all inputs are frozen
+        #: dataclasses) and callers treat the returned stats as read-only,
+        #: so replaying a cached result is exact.
+        self.memoize = memoize
+        self._memo: dict[tuple[TranslationSegment, ...], TranslationStats] = {}
 
     def evaluate(self, segments: list[TranslationSegment]) -> TranslationStats:
         """Compute expected misses and walk cycles for one epoch."""
+        key: tuple[TranslationSegment, ...] | None = None
+        if self.memoize:
+            key = tuple(segments)
+            cached = self._memo.get(key)
+            if cached is not None:
+                return cached
         stats = TranslationStats()
         remaining = self.config.effective_entries
         ordered = sorted(
@@ -144,4 +160,8 @@ class TLBModel:
                     SegmentResult(segment=segment, resident_entries=0.0, misses=0.0)
                 )
                 stats.accesses += max(segment.accesses, 0.0)
+        if key is not None:
+            if len(self._memo) >= self.MEMO_LIMIT:
+                self._memo.clear()
+            self._memo[key] = stats
         return stats

@@ -1,0 +1,137 @@
+"""Hypothesis proofs for the MemoryLayer fast kernels.
+
+Two layers run the same random operation stream — one with
+``fast_kernels`` on (span map/unmap batches, batch frees, rmap bitsets),
+one forced onto the per-page reference paths — and must stay in lockstep:
+identical page tables, identical reverse maps, identical buddy free sets.
+The occupancy bitsets the promoter iterates are additionally pinned to
+the ground truth recomputed from the reverse map after every operation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.promoter import _iter_set_bits
+from repro.mem.layout import PAGES_PER_HUGE
+from repro.mem.physmem import PhysicalMemory
+from repro.os.mm import OutOfMemory, PROCESS, MemoryLayer
+from repro.policies.base import HugePagePolicy
+
+REGIONS = 8
+TOTAL = REGIONS * PAGES_PER_HUGE
+
+
+def make_layer(fast: bool) -> MemoryLayer:
+    layer = MemoryLayer("prop", PhysicalMemory(TOTAL), HugePagePolicy())
+    layer.fast_kernels = fast
+    layer.enable_owner_index()
+    return layer
+
+
+def observable_state(layer: MemoryLayer):
+    tables = {}
+    for client in layer.clients():
+        table = layer.table(client)
+        tables[client] = (
+            sorted(table.base_mappings()),
+            sorted(table.huge_mappings()),
+        )
+    return (
+        tables,
+        layer.memory.free_regions(),
+        layer.memory.free_pages,
+        dict(layer._rmap_base),
+        dict(layer._rmap_huge),
+        dict(layer._frame_refs),
+    )
+
+
+def check_bitsets(layer: MemoryLayer) -> None:
+    """rmap_bits must be exactly the per-region occupancy of _rmap_base,
+    and iterating its set bits must visit exactly the owned frames in
+    ascending order (the promoter's snapshot-walk contract)."""
+    expected: dict[int, int] = {}
+    for pfn in layer._rmap_base:
+        region = pfn // PAGES_PER_HUGE
+        expected[region] = expected.get(region, 0) | (
+            1 << (pfn % PAGES_PER_HUGE)
+        )
+    for pregion in range(REGIONS):
+        bits = layer.rmap_bits(pregion)
+        assert bits == expected.get(pregion, 0)
+        start = pregion * PAGES_PER_HUGE
+        assert list(_iter_set_bits(start, bits)) == [
+            frame
+            for frame in range(start, start + PAGES_PER_HUGE)
+            if layer.owner_of_frame(frame) is not None
+        ]
+
+
+def apply_op(layer: MemoryLayer, op: str, region: int, offset: int, span: int):
+    vpn = region * PAGES_PER_HUGE + offset
+    try:
+        if op == "fault":
+            layer.fault(PROCESS, vpn)
+        elif op == "fault_range":
+            layer.fault_range(PROCESS, vpn, span)
+        elif op == "promote_mig":
+            layer.promote_with_migration(PROCESS, region)
+        elif op == "promote_inplace":
+            layer.try_promote_in_place(PROCESS, region)
+        elif op == "demote":
+            if layer.table(PROCESS).is_huge(region):
+                layer.demote(PROCESS, region)
+        elif op == "unmap_region":
+            layer.unmap_range(
+                PROCESS, region * PAGES_PER_HUGE, PAGES_PER_HUGE
+            )
+        elif op == "unmap_partial":
+            layer.unmap_range(PROCESS, vpn, span)
+        elif op == "share":
+            owned = [
+                pfn
+                for pfn in sorted(layer._rmap_base)
+                if pfn // PAGES_PER_HUGE == region
+            ]
+            if owned:
+                layer.add_frame_ref(owned[0])
+        elif op == "release_client":
+            layer.release_client(PROCESS)
+    except OutOfMemory:
+        pass
+
+
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(
+            [
+                "fault",
+                "fault_range",
+                "promote_mig",
+                "promote_inplace",
+                "demote",
+                "unmap_region",
+                "unmap_partial",
+                "share",
+                "release_client",
+            ]
+        ),
+        st.integers(min_value=0, max_value=REGIONS - 3),
+        st.integers(min_value=0, max_value=PAGES_PER_HUGE - 1),
+        st.integers(min_value=1, max_value=2 * PAGES_PER_HUGE),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=OPS)
+def test_fast_kernels_match_reference_paths(ops):
+    fast = make_layer(True)
+    reference = make_layer(False)
+    for op, region, offset, span in ops:
+        apply_op(fast, op, region, offset, span)
+        apply_op(reference, op, region, offset, span)
+        assert observable_state(fast) == observable_state(reference)
+        check_bitsets(fast)
