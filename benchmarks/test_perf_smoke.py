@@ -63,8 +63,10 @@ from dataclasses import replace
 
 from repro import obs
 from repro.cluster import ClusterConfig, ClusterSimulation
+from repro.cluster.config import ChurnConfig
 from repro.exec import Cell, ResultCache, run_cells
 from repro.obs.export import chrome_trace, events_to_jsonl
+from repro.pressure import PressureConfig
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import run_workload
 from repro.workloads.suite import make_workload
@@ -94,6 +96,30 @@ MATRIX_SYSTEMS = ["Host-B-VM-B", "THP", "Gemini"]
 #: controller's (serial) placement/consolidation work.
 FLEET_CONFIG = ClusterConfig(hosts=8, host_mib=768, epochs=12, seed=42)
 FLEET_WORKERS = 4
+
+#: The overcommit cell: two squeezed Gemini hosts admitting 2.5x their
+#: memory, so the whole run sits below the pressure watermark and the
+#: escalation ladder (balloon, KSM, swap) carries the load.  Small on
+#: purpose — the cell receipts swap traffic and the Section 8 victim
+#: rule's alignment savings, not wall-clock.
+OVERCOMMIT_FLEET = ClusterConfig(
+    hosts=2,
+    host_mib=80,
+    epochs=6,
+    seed=7,
+    system="Gemini",
+    overcommit_ratio=2.5,
+    placement_headroom=1.0,
+    churn=ChurnConfig(
+        initial_vms=10,
+        arrivals_per_epoch=0.5,
+        departure_rate=0.03,
+        max_vms=16,
+        guest_mib_choices=(48, 64),
+        workload_pool=("Shore", "SP.D", "Sphinx", "Moses"),
+    ),
+    pressure=PressureConfig(enabled=True),
+)
 
 
 def _timed(fn):
@@ -269,6 +295,28 @@ def test_perf_smoke(tmp_path):
         fleet_traced_retry, spans_fast = _traced_spans(FLEET_CONFIG)
         assert fleet_traced_retry == fleet_serial
 
+    # --- overcommit fleet: pressure ladder cost and alignment savings ----
+    # The same squeezed trace per victim policy; serial vs parallel must
+    # stay bit-identical with the whole ladder (balloon, KSM, swap) on.
+    pressure_results = {}
+    pressure_seconds = {}
+    for policy in ("lru-cold", "alignment-aware"):
+        policy_config = replace(
+            OVERCOMMIT_FLEET,
+            pressure=replace(OVERCOMMIT_FLEET.pressure, victim_policy=policy),
+        )
+        pressure_results[policy], pressure_seconds[policy] = _timed(
+            lambda cfg=policy_config: ClusterSimulation(cfg).run(workers=1)
+        )
+    aware_fleet = pressure_results["alignment-aware"]
+    lru_fleet = pressure_results["lru-cold"]
+    pressure_parallel = ClusterSimulation(
+        replace(OVERCOMMIT_FLEET, adaptive_parallel=False)
+    ).run(workers=2)
+    assert pressure_parallel == ClusterSimulation(
+        replace(OVERCOMMIT_FLEET, adaptive_parallel=False)
+    ).run(workers=1), "pressured fleet diverged across worker counts"
+
     # What the instrumentation costs the tier-1 suite with telemetry
     # off: the emissions this run made, priced at the disabled rate.
     obs_calls = obs_stats["events_emitted"] + 2 * obs_stats["spans_closed"]
@@ -379,6 +427,39 @@ def test_perf_smoke(tmp_path):
                 "reduction": round(hot_path_reduction, 3),
             },
         },
+        "overcommit_fleet": {
+            "hosts": OVERCOMMIT_FLEET.hosts,
+            "host_mib": OVERCOMMIT_FLEET.host_mib,
+            "epochs": OVERCOMMIT_FLEET.epochs,
+            "overcommit_ratio": OVERCOMMIT_FLEET.overcommit_ratio,
+            "seconds": {
+                policy: round(seconds, 4)
+                for policy, seconds in pressure_seconds.items()
+            },
+            "swap_out_pages": {
+                policy: result.fleet_swap_out_pages
+                for policy, result in pressure_results.items()
+            },
+            "swap_in_pages": {
+                policy: result.fleet_swap_in_pages
+                for policy, result in pressure_results.items()
+            },
+            "swapped_pages": {
+                policy: result.fleet_swapped_pages
+                for policy, result in pressure_results.items()
+            },
+            "aligned_huge_retained": {
+                policy: result.fleet_aligned_huge
+                for policy, result in pressure_results.items()
+            },
+            "aligned_demotions": {
+                policy: result.fleet_pressure_aligned_demotions
+                for policy, result in pressure_results.items()
+            },
+            "aligned_pages_saved_by_victim_rule": (
+                aware_fleet.fleet_aligned_huge - lru_fleet.fleet_aligned_huge
+            ),
+        },
         "telemetry": {
             "disabled_call_ns": round(disabled_call_s * 1e9, 1),
             "disabled_overhead_fraction": round(disabled_fraction, 5),
@@ -447,3 +528,14 @@ def test_perf_smoke(tmp_path):
     # Telemetry on is allowed to cost something, but collecting a full
     # fleet trace must stay within 1.5x of the plain run.
     assert fleet_traced_s <= fleet_serial_s * 1.5
+    # The overcommit cell must really run under pressure, and the paper's
+    # Section 8 victim rule must pay: strictly more well-aligned huge
+    # pages survive than under pure working-set eviction, at similar
+    # swap traffic (both runs chase the same watermark deficit).
+    assert lru_fleet.fleet_swap_out_pages > 0
+    assert lru_fleet.fleet_pressure_aligned_demotions > 0
+    assert aware_fleet.fleet_aligned_huge > lru_fleet.fleet_aligned_huge
+    assert (
+        aware_fleet.fleet_pressure_aligned_demotions
+        < lru_fleet.fleet_pressure_aligned_demotions
+    )

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 
 from repro import obs
 from repro.cluster import (
@@ -58,10 +59,12 @@ from repro.experiments import (
     fig03_motivation,
     fleet_consolidation,
     interplay,
+    overcommit,
     reused_vm,
     sweeps,
     validation,
 )
+from repro.pressure import victim_names
 from repro.metrics.report import format_cache_stats, format_fleet_summary
 from repro.policies.registry import PAPER_SYSTEMS, SYSTEMS
 from repro.sim.config import SimulationConfig
@@ -101,7 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_choices = [
         "fig02", "fig03", "clean-slate", "reused-vm", "fig16",
         "collocation", "ablations", "validation", "sweeps",
-        "interplay", "fleet",
+        "interplay", "fleet", "overcommit",
     ]
     experiment = sub.add_parser("experiment", help="regenerate a paper table/figure")
     experiment.add_argument("name", choices=experiment_choices)
@@ -166,6 +169,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep the worker pool even when serial would be faster",
     )
     _add_exec_args(cluster)
+
+    pressure = sub.add_parser(
+        "pressure",
+        help="simulate an overcommitted fleet under memory pressure",
+    )
+    pressure.add_argument("--hosts", type=int, default=3)
+    pressure.add_argument("--host-mib", type=int, default=128)
+    pressure.add_argument("--epochs", type=int, default=10)
+    pressure.add_argument("--seed", type=int, default=7)
+    pressure.add_argument("--system", default="Gemini",
+                          help="coalescing policy on every host")
+    pressure.add_argument(
+        "--overcommit", type=float, default=2.5,
+        help="commitment admission multiple of physical memory "
+        "(default 2.5)",
+    )
+    pressure.add_argument(
+        "--victims", default="alignment-aware", choices=victim_names(),
+        help="swap victim policy (default alignment-aware)",
+    )
+    pressure.add_argument(
+        "--fragment-host", type=float, default=0.0,
+        help="FMFI aging gradient of the fleet (default 0, clean hosts)",
+    )
+    _add_exec_args(pressure)
     return parser
 
 
@@ -318,6 +346,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             epochs=epochs, workers=args.workers
         )
         print(fleet_consolidation.format_fleet_consolidation(results))
+    elif name == "overcommit":
+        results = overcommit.run_overcommit(
+            epochs=epochs, workers=args.workers
+        )
+        print(overcommit.format_overcommit(results))
     elif name == "ablations":
         print(ablations.format_ablation(
             ablations.run_timeout_ablation(epochs=epochs),
@@ -380,6 +413,51 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pressure(args: argparse.Namespace) -> int:
+    """``repro pressure``: an overcommitted fleet with the full reclaim
+    ladder on, reported with swap-traffic and alignment-damage columns."""
+    config = replace(
+        overcommit.OVERCOMMIT_CONFIG,
+        hosts=args.hosts,
+        host_mib=args.host_mib,
+        epochs=args.epochs,
+        seed=args.seed,
+        system=args.system,
+        overcommit_ratio=args.overcommit,
+        fragment_host=args.fragment_host,
+        pressure=replace(
+            overcommit.OVERCOMMIT_CONFIG.pressure,
+            victim_policy=args.victims,
+        ),
+    )
+    cache = (
+        ResultCache(args.cache_dir, expected=FleetResult)
+        if args.cache_dir
+        else ResultCache.from_env(expected=FleetResult)
+    )
+    result = run_cluster(config, workers=args.workers, cache=cache)
+    print(format_fleet_summary(result))
+    print(f"  overcommit ratio     {config.overcommit_ratio:.2f}x "
+          f"(victims: {config.pressure.victim_policy})")
+    print(f"  swap traffic         {result.fleet_swap_out_pages} out / "
+          f"{result.fleet_swap_in_pages} in / "
+          f"{result.fleet_swapped_pages} resident pages")
+    print(f"  pressure demotions   {result.fleet_pressure_demotions} huge "
+          f"({result.fleet_pressure_aligned_demotions} well-aligned)")
+    print(f"  aligned huge retained {result.fleet_aligned_huge}")
+    final = {r.host: r for r in result.host_epochs
+             if r.epoch == max(h.epoch for h in result.host_epochs)}
+    rows = " ".join(
+        f"host{index}={record.pressure:.2f}"
+        for index, record in sorted(final.items())
+    )
+    print(f"  final pressure       {rows}")
+    if cache is not None and cache.stats.requests:
+        print()
+        print(format_cache_stats(cache.stats))
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """``repro trace <experiment>``: experiment + telemetry + export.
 
@@ -417,6 +495,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_trace(args)
     if args.command == "cluster":
         return _cmd_cluster(args)
+    if args.command == "pressure":
+        return _cmd_pressure(args)
     return 1  # pragma: no cover - argparse enforces the choices
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.runtime import GeminiConfig
+from repro.pressure.config import PressureConfig
 from repro.sim.config import DEFAULT_TLB
 from repro.tlb.model import TLBConfig
 
@@ -117,8 +118,14 @@ class ClusterConfig:
     tlb: TLBConfig = field(default_factory=lambda: DEFAULT_TLB)
     #: Multiple of a VM's guest size a host must have free for the VM to
     #: be placeable there (headroom for noise and page-table bloat; RAM
-    #: is never overcommitted).
+    #: is never overcommitted unless ``overcommit_ratio`` says so).
     placement_headroom: float = 1.25
+    #: Commitment-based admission multiplier: hosts advertise
+    #: ``total * overcommit_ratio`` placeable pages, so ratios above 1.0
+    #: admit more guest-physical memory than physically exists and rely
+    #: on the pressure subsystem (ballooning, KSM, swap) to absorb the
+    #: difference when tenants actually touch their pages.
+    overcommit_ratio: float = 1.0
     #: Batched fault delivery / incremental index (bit-identical fast
     #: paths, same flags as SimulationConfig).
     batch_faults: bool = True
@@ -151,3 +158,12 @@ class ClusterConfig:
     migration: MigrationConfig = field(default_factory=MigrationConfig)
     consolidation: ConsolidationConfig = field(default_factory=ConsolidationConfig)
     gemini: GeminiConfig = field(default_factory=GeminiConfig)
+    #: Per-host memory-pressure subsystem (disabled by default; an
+    #: overcommitted fleet without it will hard-OOM under load).
+    pressure: PressureConfig = field(default_factory=PressureConfig)
+
+    def __post_init__(self) -> None:
+        if self.overcommit_ratio < 1.0:
+            raise ValueError(
+                f"overcommit_ratio below 1.0: {self.overcommit_ratio}"
+            )

@@ -690,7 +690,14 @@ class ClusterSimulation:
             else None
         )
         score = (
-            bool(view.residents) and view.utilization > consolidation.overload,
+            bool(view.residents)
+            and (
+                view.utilization > consolidation.overload
+                # A host at critical memory pressure sheds load even if
+                # raw utilization looks fine (free pages say nothing
+                # about swap churn on an overcommitted host).
+                or view.pressure >= 1.0
+            ),
             bool(view.residents) and view.utilization < consolidation.underload,
             cheapest,
         )

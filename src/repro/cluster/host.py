@@ -36,6 +36,7 @@ from repro.metrics.alignment import alignment_report
 from repro.metrics.performance import epoch_performance
 from repro.policies.base import EpochTelemetry
 from repro.policies.registry import system_spec
+from repro.pressure.controller import PressureController
 from repro.sim.engine import build_segments, charge_dedup_cow
 from repro.sim.noise import NoiseAgent
 from repro.tlb.model import TLBModel
@@ -137,6 +138,12 @@ class HostView:
     misaligned_huge: int
     #: ``(ordinal, resident_pages)`` per tenant, ordinal-sorted.
     residents: tuple[tuple[int, int], ...]
+    #: Normalised memory pressure in [0, 1] (0 above the low watermark,
+    #: 1 at/below critical; always 0 with the subsystem disabled).
+    #: Appended with a default so existing view constructions stay valid.
+    pressure: float = 0.0
+    #: Pages currently on the host's swap device.
+    swapped_pages: int = 0
 
     @property
     def vms(self) -> int:
@@ -215,6 +222,14 @@ class Host:
         self.runtime: GeminiRuntime | None = None
         if self.spec.uses_gemini_runtime:
             self.runtime = GeminiRuntime(self.platform, config.gemini)
+        #: Memory-pressure controller (None unless configured).  The swap
+        #: device RNG is salted by host index so hosts draw independent
+        #: latency streams from the same config seed.
+        self.pressure: PressureController | None = None
+        if config.pressure.enabled:
+            self.pressure = PressureController(
+                self.platform, config.pressure, salt=index
+            )
 
         self.tenants: dict[int, Tenant] = {}
         self._fragmenters: list[Fragmenter] = []
@@ -276,8 +291,13 @@ class Host:
     def available_pages(self) -> int:
         """Placement capacity left: total minus pre-pinned pages minus
         committed (with the configured per-VM headroom for noise and
-        page-table bloat)."""
-        total = self.platform.memory.total_pages - self._pinned_pages
+        page-table bloat).  ``overcommit_ratio`` scales the advertised
+        total above physical capacity; the pressure subsystem absorbs the
+        difference when commitments are actually touched."""
+        total = int(
+            (self.platform.memory.total_pages - self._pinned_pages)
+            * self.config.overcommit_ratio
+        )
         return total - int(self.committed_pages * self.config.placement_headroom)
 
     def summary(self) -> HostView:
@@ -300,6 +320,16 @@ class Host:
             residents=tuple(
                 (ordinal, resident_pages(self.tenants[ordinal].vm))
                 for ordinal in sorted(self.tenants)
+            ),
+            pressure=(
+                self.pressure.pressure_signal()
+                if self.pressure is not None
+                else 0.0
+            ),
+            swapped_pages=(
+                self.pressure.device.total_swapped
+                if self.pressure is not None
+                else 0
             ),
         )
 
@@ -392,6 +422,11 @@ class Host:
         """
         tenant = self.tenants.pop(ordinal)
         state = None
+        if self.pressure is not None:
+            # While the VM is still attached: deflates the controller's
+            # balloon and discards swap slots (swapped state does not
+            # travel; the destination re-faults the resident set).
+            self.pressure.forget_vm(tenant.vm.id)
         if self.runtime is not None:
             state = self.runtime.unregister_vm(tenant.vm.id)
         self.platform.detach_vm(tenant.vm)
@@ -454,6 +489,12 @@ class Host:
             for tenant in tenants:
                 vm, workload = tenant.vm, tenant.workload
                 charge_dedup_cow(vm, workload)
+                if self.pressure is not None:
+                    # Dirty sets follow the tenant's own epoch count (its
+                    # access phases), heat decays in fleet-epoch time.
+                    self.pressure.log_dirty(
+                        vm, workload, epoch, workload_epoch=tenant.epochs_run
+                    )
                 segments = build_segments(
                     self.platform, vm, workload, tenant.epochs_run
                 )
@@ -515,9 +556,12 @@ class Host:
             self.platform.host.policy.scan(None)
             if self.runtime is not None:
                 self.runtime.epoch(now=float(epoch), tlb_misses=self._last_misses)
+            if self.pressure is not None:
+                self.pressure.run(epoch)
 
         memory = self.platform.memory
         aligned_free = memory.free_pages_at_or_above(HUGE_ORDER)
+        controller = self.pressure
         self._host_records.append(
             HostEpochRecord(
                 epoch=epoch,
@@ -527,6 +571,24 @@ class Host:
                 aligned_free_pages=aligned_free,
                 total_pages=memory.total_pages,
                 vms=len(tenants),
+                pressure=(
+                    controller.pressure_signal() if controller else 0.0
+                ),
+                swapped_pages=(
+                    controller.device.total_swapped if controller else 0
+                ),
+                swap_out_pages=(
+                    controller.device.pages_out if controller else 0
+                ),
+                swap_in_pages=(
+                    controller.device.pages_in if controller else 0
+                ),
+                pressure_demotions=(
+                    controller.demoted_huge_pages if controller else 0
+                ),
+                pressure_aligned_demotions=(
+                    controller.demoted_aligned_huge_pages if controller else 0
+                ),
             )
         )
         obs.emit(

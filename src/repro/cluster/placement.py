@@ -59,10 +59,15 @@ class PlacementPolicy:
         exclude: frozenset[int] = frozenset(),
     ) -> int | None:
         """Index of the chosen host, or None when no host fits."""
+        # Hosts at critical memory pressure (signal saturated at 1.0) are
+        # infeasible regardless of their commitment-based capacity: their
+        # physical memory is exhausted and they are actively swapping.
         candidates = [
             view
             for view in views
-            if view.index not in exclude and view.available_pages >= pages_needed
+            if view.index not in exclude
+            and view.available_pages >= pages_needed
+            and view.pressure < 1.0
         ]
         if not candidates:
             obs.emit_at(
@@ -172,11 +177,16 @@ class AlignmentAwarePlacement(PlacementPolicy):
 
     #: Weight of one misaligned huge page against one free aligned page.
     misaligned_penalty_pages = 64
+    #: Full-scale memory-pressure penalty (in free-aligned-page units): a
+    #: pressured host is about to balloon/swap its way through the very
+    #: contiguity the score is counting.  Zero on unpressured fleets.
+    pressure_penalty_pages = 4096
 
     def score(self, view: "HostView") -> int:
         return (
             view.aligned_free_pages
             - self.misaligned_penalty_pages * view.misaligned_huge
+            - int(self.pressure_penalty_pages * view.pressure)
         )
 
     def choose(

@@ -93,6 +93,13 @@ class HostEpochRecord:
     aligned_free_pages: int  # free pages inside huge-aligned buddy blocks
     total_pages: int
     vms: int
+    # Pressure-subsystem fields (all zero while the subsystem is off).
+    pressure: float = 0.0  # normalised watermark pressure in [0, 1]
+    swapped_pages: int = 0  # pages resident on the swap device now
+    swap_out_pages: int = 0  # cumulative device write-out traffic
+    swap_in_pages: int = 0  # cumulative demand swap-in traffic
+    pressure_demotions: int = 0  # cumulative ladder huge-page demotions
+    pressure_aligned_demotions: int = 0  # ...of well-aligned huge pages
 
     @property
     def utilization(self) -> float:
@@ -191,6 +198,45 @@ class FleetResult:
         return total.well_aligned_rate if total.total_huge > 0 else 0.0
 
     # ------------------------------------------------------------------
+    # Pressure / swap accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def fleet_swap_out_pages(self) -> int:
+        """Cumulative swap write-out traffic across the fleet."""
+        return sum(r.swap_out_pages for r in self._final_host_epochs())
+
+    @property
+    def fleet_swap_in_pages(self) -> int:
+        """Cumulative demand swap-in traffic across the fleet."""
+        return sum(r.swap_in_pages for r in self._final_host_epochs())
+
+    @property
+    def fleet_swapped_pages(self) -> int:
+        """Pages resident on swap devices at the final epoch."""
+        return sum(r.swapped_pages for r in self._final_host_epochs())
+
+    @property
+    def fleet_pressure_demotions(self) -> int:
+        """Huge pages the pressure ladder demoted, fleet-wide."""
+        return sum(r.pressure_demotions for r in self._final_host_epochs())
+
+    @property
+    def fleet_pressure_aligned_demotions(self) -> int:
+        """Well-aligned huge pages the ladder destroyed, fleet-wide —
+        the damage the alignment-aware victim policy minimises."""
+        return sum(
+            r.pressure_aligned_demotions for r in self._final_host_epochs()
+        )
+
+    @property
+    def fleet_aligned_huge(self) -> int:
+        """Well-aligned huge pages alive at the final epoch, fleet-wide."""
+        return sum(
+            r.alignment.aligned_total for r in self._final_tenant_epochs()
+        )
+
+    # ------------------------------------------------------------------
     # Migration accounting
     # ------------------------------------------------------------------
 
@@ -266,4 +312,10 @@ class FleetResult:
             "migration_pages": self.migration_pages,
             "migration_cycles": self.migration_cycles,
             "placement_failures": self.placement_failures,
+            "swap_out_pages": self.fleet_swap_out_pages,
+            "swap_in_pages": self.fleet_swap_in_pages,
+            "swapped_pages": self.fleet_swapped_pages,
+            "pressure_demotions": self.fleet_pressure_demotions,
+            "pressure_aligned_demotions": self.fleet_pressure_aligned_demotions,
+            "aligned_huge": self.fleet_aligned_huge,
         }

@@ -10,6 +10,7 @@ from repro.experiments import (
     fig02_microbench,
     fig03_motivation,
     fleet_consolidation,
+    overcommit,
     reused_vm,
     sweeps,
     validation,
@@ -39,6 +40,7 @@ __all__ = [
     "format_table",
     "interplay",
     "normalize",
+    "overcommit",
     "reused_vm",
     "run_matrix",
     "sweeps",

@@ -23,6 +23,7 @@ be studied:
 
 from __future__ import annotations
 
+from repro import obs
 from repro.mem.buddy import AllocationError
 from repro.mem.layout import PAGES_PER_HUGE
 from repro.os.mm import PROCESS
@@ -58,9 +59,15 @@ class BalloonDriver:
         only the *host backing* of the ballooned pages is released.
         """
         reclaimed = 0
+        inflated = 0
         for gpn in self._select_victims(npages):
             self._ballooned.append(gpn)
+            inflated += 1
             reclaimed += self._release_host_backing(gpn)
+        if inflated:
+            obs.count("balloon.inflated_pages", inflated)
+        if reclaimed:
+            obs.count("balloon.reclaimed_pages", reclaimed)
         return reclaimed
 
     def deflate(self) -> int:
@@ -70,6 +77,8 @@ class BalloonDriver:
         for gpn in self._ballooned:
             self.vm.gpa_space.free(gpn, 0)
         self._ballooned.clear()
+        if released:
+            obs.count("balloon.deflated_pages", released)
         return released
 
     @property
@@ -139,13 +148,15 @@ class BalloonDriver:
             )
             host.demote(self.vm.id, gpregion)
             self.demoted_huge_pages += 1
+            obs.count("balloon.demoted_huge_pages")
             if aligned:
                 self.demoted_aligned_huge_pages += 1
+                obs.count("balloon.demoted_aligned_huge_pages")
         if ept.translate(gpn) is None:
             return 0
         hpn = ept.unmap_base(gpn)
-        owner = host.owner_of_frame(hpn)
-        if owner is not None:
-            host._del_rmap(hpn)
-        host.memory.free(hpn, 0)
+        # Refcount-aware release: the frame may be KSM-shared with other
+        # mappings, in which case only this VM's reference goes away.
+        host._drop_rmap(hpn, self.vm.id, gpn)
+        host.release_frame(hpn)
         return 1

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import random
 
+from repro import obs
 from repro.mem.layout import PAGES_PER_HUGE
 from repro.os.mm import PROCESS
 from repro.hypervisor.platform import Platform
@@ -48,6 +49,10 @@ class KsmDaemon:
         #: the well-aligned ones.
         self.spare_aligned = spare_aligned
         self._rng = random.Random(seed)
+        #: Folded into the per-page content hash so daemons with different
+        #: seeds model different guest content populations (seed 0 keeps
+        #: the historical hash: x ^ 0 == x).
+        self._content_salt = seed * 0x9E3779B1
         #: shared frames by content id; the first merged page donates its
         #: frame, later duplicates free theirs.
         self._shared: dict[int, int] = {}
@@ -62,7 +67,9 @@ class KsmDaemon:
         A deterministic hash assigns ``mergeable_fraction`` of pages to a
         small pool of shared contents (zero pages etc.).
         """
-        draw = random.Random((vm_id * 1_000_003 + gpn) * 31 + 7).random()
+        draw = random.Random(
+            ((vm_id * 1_000_003 + gpn) * 31 + 7) ^ self._content_salt
+        ).random()
         if draw >= self.mergeable_fraction:
             return None
         return int(draw * 1000)  # a small pool of common contents
@@ -85,6 +92,11 @@ class KsmDaemon:
                 if content is None:
                     continue
                 shared = self._shared.get(content)
+                if shared is not None and not self._frame_live(host, shared):
+                    # Every VM referencing the shared frame departed and
+                    # the frame went back to the allocator; merging into
+                    # it would alias whoever owns it next.  Reseed.
+                    shared = None
                 if shared is None:
                     self._shared[content] = hpn
                     continue
@@ -98,7 +110,14 @@ class KsmDaemon:
                 host.add_frame_ref(shared)
                 merged += 1
         self.merged_pages += merged
+        if merged:
+            obs.count("ksm.merged_pages", merged)
         return merged
+
+    @staticmethod
+    def _frame_live(host, pfn: int) -> bool:
+        """Is the shared frame still mapped by anyone?"""
+        return host.owner_of_frame(pfn) is not None or pfn in host._frame_refs
 
     def _break_candidate_huge_pages(self, vm_id: int) -> None:
         """Demote huge EPT entries that likely contain mergeable pages."""
@@ -117,6 +136,7 @@ class KsmDaemon:
             if has_mergeable:
                 host.demote(vm_id, gpregion)
                 self.demoted_huge_pages += 1
+                obs.count("ksm.demoted_huge_pages")
 
     @property
     def pages_saved(self) -> int:

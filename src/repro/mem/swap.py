@@ -1,0 +1,92 @@
+"""Hypervisor swap device model.
+
+The paper's future-work section (Section 8) names swapping as the third
+memory-pressure mechanism (after ballooning and deduplication) that can
+demote the huge pages Gemini builds.  Following the pluggable-backend
+design of *Flexible Swapping for the Cloud* (Pandurov et al.), the device
+is pure mechanism: it records which ``(vm, gpn)`` pages live on swap,
+accounts in/out traffic, and prices each transfer from a seeded latency
+distribution around the :mod:`repro.tlb.costs` constants.  *Policy* —
+victim selection, watermarks, when to swap at all — lives entirely in
+:mod:`repro.pressure`.
+
+Swap-outs are charged as background cycles (the host writes victims out
+asynchronously); swap-ins are synchronous demand faults — the vCPU stalls
+on the EPT violation until the page is read back — and are charged to the
+faulting tenant's ledger by the pressure controller.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.tlb import costs
+
+__all__ = ["SwapDevice"]
+
+
+class SwapDevice:
+    """Slot map plus traffic accounting for one host's swap backend."""
+
+    def __init__(self, seed: int = 0, jitter: float = 0.2) -> None:
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"latency jitter out of [0, 1): {jitter}")
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        #: vm id -> set of guest-physical pages currently on the device.
+        self._slots: dict[int, set[int]] = {}
+        self.pages_out = 0
+        self.pages_in = 0
+
+    # ------------------------------------------------------------------
+    # Slot map
+    # ------------------------------------------------------------------
+
+    def contains(self, vm_id: int, gpn: int) -> bool:
+        slots = self._slots.get(vm_id)
+        return slots is not None and gpn in slots
+
+    def swapped(self, vm_id: int) -> list[int]:
+        """The VM's swapped pages, ascending (deterministic scan order)."""
+        return sorted(self._slots.get(vm_id, ()))
+
+    @property
+    def total_swapped(self) -> int:
+        """Pages currently on the device, across all VMs."""
+        return sum(len(slots) for slots in self._slots.values())
+
+    def drop_vm(self, vm_id: int) -> int:
+        """Discard a departing VM's slots (its swapped state does not
+        travel: the destination re-faults the resident set).  Returns the
+        number of slots released."""
+        return len(self._slots.pop(vm_id, ()))
+
+    # ------------------------------------------------------------------
+    # Transfers
+    # ------------------------------------------------------------------
+
+    def swap_out(self, vm_id: int, gpn: int) -> float:
+        """Write one page out; returns the transfer's cycle cost."""
+        slots = self._slots.setdefault(vm_id, set())
+        if gpn in slots:
+            raise ValueError(f"vm {vm_id} gpn {gpn} already swapped")
+        slots.add(gpn)
+        self.pages_out += 1
+        return self._draw(costs.SWAP_OUT_CYCLES)
+
+    def swap_in(self, vm_id: int, gpn: int) -> float:
+        """Read one page back in; returns the fault's cycle cost."""
+        slots = self._slots.get(vm_id)
+        if slots is None or gpn not in slots:
+            raise ValueError(f"vm {vm_id} gpn {gpn} not on swap")
+        slots.remove(gpn)
+        if not slots:
+            del self._slots[vm_id]
+        self.pages_in += 1
+        return self._draw(costs.SWAP_IN_CYCLES)
+
+    def _draw(self, mean: float) -> float:
+        """One latency sample: uniform jitter around *mean*."""
+        if self.jitter == 0.0:
+            return mean
+        return mean * (1.0 + self.jitter * (2.0 * self._rng.random() - 1.0))

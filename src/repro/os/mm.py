@@ -97,6 +97,11 @@ class MemoryLayer:
         #: results, O(spans)/O(words) work); False forces the per-page
         #: reference paths everywhere.
         self.fast_kernels = True
+        #: Optional last-chance reclaim callback: given a page deficit,
+        #: free at least that many frames and return how many were freed.
+        #: Wired to the pressure controller's emergency swap-out on host
+        #: layers; tried only after the policy's own reclaim fails.
+        self.reclaimer: Callable[[int], int] | None = None
         self._tables: dict[int, PageTable] = {}
         #: reverse map for base mappings: pfn -> (client, vpn)
         self._rmap_base: dict[int, tuple[int, int]] = {}
@@ -512,6 +517,8 @@ class MemoryLayer:
             return self.memory.alloc(0, node=node)
         except AllocationError:
             released = self.policy.on_pressure()
+            if released <= 0 and self.reclaimer is not None:
+                released = self.reclaimer(PAGES_PER_HUGE)
             if released <= 0:
                 raise OutOfMemory(f"{self.name}: out of memory") from None
             try:

@@ -1,0 +1,43 @@
+"""Memory-pressure subsystem: working-set estimation, hypervisor swap
+and the watermark-driven reclaim ladder (paper Section 8).
+
+Layering: :mod:`repro.pressure.config` is dependency-free (nested by the
+sim and cluster configs); :mod:`repro.pressure.wse` and
+:mod:`repro.pressure.victims` are pure policy inputs; the controller in
+:mod:`repro.pressure.controller` drives the balloon, KSM and the
+:class:`repro.mem.swap.SwapDevice` mechanisms from free-memory
+watermarks.
+"""
+
+from repro.pressure.config import PressureConfig
+from repro.pressure.controller import PressureController, dirty_regions
+from repro.pressure.victims import (
+    BACKING_ALIGNED_HUGE,
+    BACKING_BASE,
+    BACKING_MISALIGNED_HUGE,
+    VICTIMS,
+    AlignmentAwareVictims,
+    LruColdVictims,
+    VictimCandidate,
+    VictimPolicy,
+    make_victim_policy,
+    victim_names,
+)
+from repro.pressure.wse import WorkingSetEstimator
+
+__all__ = [
+    "BACKING_ALIGNED_HUGE",
+    "BACKING_BASE",
+    "BACKING_MISALIGNED_HUGE",
+    "VICTIMS",
+    "AlignmentAwareVictims",
+    "LruColdVictims",
+    "PressureConfig",
+    "PressureController",
+    "VictimCandidate",
+    "VictimPolicy",
+    "WorkingSetEstimator",
+    "dirty_regions",
+    "make_victim_policy",
+    "victim_names",
+]

@@ -1,0 +1,70 @@
+"""Pressure-subsystem configuration.
+
+Kept dependency-free so :mod:`repro.sim.config` and
+:mod:`repro.cluster.config` can nest a :class:`PressureConfig` without
+pulling the controller (and through it the hypervisor daemons) into
+their import graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PressureConfig"]
+
+
+@dataclass(frozen=True)
+class PressureConfig:
+    """All knobs of the host memory-pressure subsystem.
+
+    Disabled by default: with ``enabled=False`` no estimator state is
+    kept, no daemons run and every host behaves exactly as before the
+    subsystem existed.
+    """
+
+    #: Master switch for the whole subsystem.
+    enabled: bool = False
+    #: Free-memory watermarks, as fractions of total host pages.  The
+    #: escalation ladder engages when free memory drops below ``low``,
+    #: reclaims toward ``high``, and only below ``critical`` may the
+    #: last-resort rung demote well-aligned, hot huge pages.
+    watermark_high: float = 0.18
+    watermark_low: float = 0.12
+    watermark_critical: float = 0.04
+    #: Working-set estimator: per-epoch heat decay factor and the heat at
+    #: or above which a region counts as hot (one dirty epoch adds 1.0).
+    wse_decay: float = 0.5
+    hot_threshold: float = 0.5
+    #: Rung 1 — balloon: pages requested from each VM per pressured
+    #: epoch, and the cap on controller-ballooned pages as a fraction of
+    #: a VM's guest-physical size (so guests keep allocation room).
+    balloon_step: int = 512
+    balloon_cap: float = 0.25
+    #: Rung 2 — KSM: base mappings scanned per VM per pass (0 disables
+    #: the rung) and the modelled mergeable-content fraction.
+    ksm_budget: int = 256
+    ksm_mergeable_fraction: float = 0.05
+    #: Rung 3 — swap: victim-selection policy (``lru-cold`` or
+    #: ``alignment-aware``, see :mod:`repro.pressure.victims`) and the
+    #: page budget per pressured epoch.
+    victim_policy: str = "alignment-aware"
+    swap_batch: int = 2048
+    #: Swap-device latency jitter (fraction of the mean) and RNG seed.
+    swap_jitter: float = 0.2
+    seed: int = 17
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.watermark_critical < self.watermark_low:
+            raise ValueError("need 0 < critical < low watermark")
+        if not self.watermark_low < self.watermark_high < 1.0:
+            raise ValueError("need critical < low < high < 1 watermarks")
+        if not 0.0 < self.wse_decay < 1.0:
+            raise ValueError(f"wse_decay out of (0, 1): {self.wse_decay}")
+        if self.hot_threshold <= 0.0 or self.hot_threshold > 1.0:
+            raise ValueError(
+                f"hot_threshold out of (0, 1]: {self.hot_threshold}"
+            )
+        if self.balloon_step < 0 or self.swap_batch < 0 or self.ksm_budget < 0:
+            raise ValueError("rung budgets must be non-negative")
+        if not 0.0 <= self.balloon_cap <= 1.0:
+            raise ValueError(f"balloon_cap out of [0, 1]: {self.balloon_cap}")

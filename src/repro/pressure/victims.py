@@ -1,0 +1,124 @@
+"""Pluggable swap victim selection.
+
+The controller enumerates every EPT-backed guest-physical region as a
+:class:`VictimCandidate` — its backing shape (base pages, misaligned
+huge, well-aligned huge) and its working-set heat — and a policy turns
+that into an eviction order.  Registered by name in :data:`VICTIMS`,
+mirroring :data:`repro.cluster.placement.PLACEMENTS`.
+
+``lru-cold`` is pure working-set estimation: coldest first, blind to what
+the eviction does to huge-page alignment.  ``alignment-aware`` is the
+paper's Section 8 rule — *"we only allow misaligned huge pages and
+infrequently used huge pages to be demoted when system is under memory
+pressure"*: base-backed regions and misaligned huge pages go first,
+well-aligned-but-cold huge pages are the last resort, and well-aligned
+hot huge pages are off limits entirely unless the host is below the
+critical watermark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "BACKING_ALIGNED_HUGE",
+    "BACKING_BASE",
+    "BACKING_MISALIGNED_HUGE",
+    "VICTIMS",
+    "AlignmentAwareVictims",
+    "LruColdVictims",
+    "VictimCandidate",
+    "VictimPolicy",
+    "make_victim_policy",
+    "victim_names",
+]
+
+#: Backing shapes of a guest-physical region, as the EPT sees it.
+BACKING_BASE = 0  # base-mapped frames: reclaim breaks nothing
+BACKING_MISALIGNED_HUGE = 1  # host huge page with no guest huge on top
+BACKING_ALIGNED_HUGE = 2  # well-aligned: the pages Gemini worked for
+
+
+@dataclass(frozen=True)
+class VictimCandidate:
+    """One EPT-backed guest-physical region up for eviction."""
+
+    vm_id: int
+    gpregion: int
+    backing: int
+    heat: float
+    hot: bool
+    #: EPT-translated pages the region would free when swapped out.
+    backed_pages: int
+
+
+class VictimPolicy:
+    """Base: order (and filter) candidates for eviction."""
+
+    name = "base"
+
+    def order(
+        self, candidates: list[VictimCandidate], critical: bool
+    ) -> list[VictimCandidate]:
+        raise NotImplementedError
+
+
+class LruColdVictims(VictimPolicy):
+    """Pure WSE order: coldest region first, alignment ignored."""
+
+    name = "lru-cold"
+
+    def order(
+        self, candidates: list[VictimCandidate], critical: bool
+    ) -> list[VictimCandidate]:
+        return sorted(
+            candidates,
+            key=lambda c: (c.heat, c.vm_id, c.gpregion),
+        )
+
+
+class AlignmentAwareVictims(VictimPolicy):
+    """The paper's Section 8 demotion rule, as an eviction order."""
+
+    name = "alignment-aware"
+
+    @staticmethod
+    def _tier(candidate: VictimCandidate) -> int:
+        """0 = base-backed, 1 = misaligned huge, 2 = well-aligned cold,
+        3 = well-aligned hot (critical pressure only)."""
+        if candidate.backing == BACKING_BASE:
+            return 0
+        if candidate.backing == BACKING_MISALIGNED_HUGE:
+            return 1
+        return 3 if candidate.hot else 2
+
+    def order(
+        self, candidates: list[VictimCandidate], critical: bool
+    ) -> list[VictimCandidate]:
+        eligible = [
+            candidate
+            for candidate in candidates
+            if critical or self._tier(candidate) < 3
+        ]
+        return sorted(
+            eligible,
+            key=lambda c: (self._tier(c), c.heat, c.vm_id, c.gpregion),
+        )
+
+
+VICTIMS: dict[str, type[VictimPolicy]] = {
+    policy.name: policy for policy in (LruColdVictims, AlignmentAwareVictims)
+}
+
+
+def victim_names() -> list[str]:
+    return list(VICTIMS)
+
+
+def make_victim_policy(name: str) -> VictimPolicy:
+    try:
+        return VICTIMS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown victim policy {name!r}; choose from {', '.join(VICTIMS)}"
+        ) from None

@@ -1,0 +1,89 @@
+"""Per-VM working-set estimation from PML-style dirty logging.
+
+Intel Page Modification Logging gives the hypervisor the set of
+guest-physical pages each vCPU dirtied since the log was last drained
+(Bitchebe et al., see PAPERS.md).  The estimator consumes exactly that
+signal, epoch-sampled: each epoch the engine logs the dirty GPN set, and
+the estimator maintains an exponentially-decayed *heat* per 2 MiB
+guest-physical region — one dirty epoch adds 1.0, every quiet epoch
+multiplies by ``decay``.
+
+Heat lives at region granularity because that is the granularity the
+consumers act on: the paper's Section 8 rule classifies *huge pages* as
+infrequently used, and both swap victim selection and the last-resort
+demotion rung decide per backing region.  Decay is applied lazily (heat
+plus the epoch it was last touched), so quiet regions cost nothing per
+epoch and the estimator's work is O(dirty set), like draining a PML
+buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.mem.layout import PAGES_PER_HUGE
+
+__all__ = ["WorkingSetEstimator"]
+
+
+class WorkingSetEstimator:
+    """Decayed dirty-region heat, per VM."""
+
+    def __init__(self, decay: float = 0.5, hot_threshold: float = 0.5) -> None:
+        if not 0.0 < decay < 1.0:
+            raise ValueError(f"decay out of (0, 1): {decay}")
+        if hot_threshold <= 0.0:
+            raise ValueError(f"hot threshold must be positive: {hot_threshold}")
+        self.decay = decay
+        self.hot_threshold = hot_threshold
+        #: vm id -> {gpregion: (heat at stamp, stamp epoch)}.
+        self._heat: dict[int, dict[int, tuple[float, int]]] = {}
+
+    # ------------------------------------------------------------------
+    # Dirty logging
+    # ------------------------------------------------------------------
+
+    def log_dirty_regions(
+        self, vm_id: int, regions: Iterable[int], epoch: int
+    ) -> None:
+        """Fold one epoch's dirty guest-physical regions in."""
+        table = self._heat.setdefault(vm_id, {})
+        for region in regions:
+            entry = table.get(region)
+            if entry is None:
+                table[region] = (1.0, epoch)
+                continue
+            heat, stamp = entry
+            table[region] = (heat * self.decay ** (epoch - stamp) + 1.0, epoch)
+
+    def log_dirty(self, vm_id: int, gpns: Iterable[int], epoch: int) -> None:
+        """Fold one epoch's dirty GPN set (a drained PML log) in."""
+        self.log_dirty_regions(
+            vm_id, {gpn // PAGES_PER_HUGE for gpn in gpns}, epoch
+        )
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+
+    def heat(self, vm_id: int, gpregion: int, epoch: int) -> float:
+        """The region's decayed heat as of *epoch* (0.0 if never dirty)."""
+        entry = self._heat.get(vm_id, {}).get(gpregion)
+        if entry is None:
+            return 0.0
+        heat, stamp = entry
+        return heat * self.decay ** (epoch - stamp)
+
+    def page_heat(self, vm_id: int, gpn: int, epoch: int) -> float:
+        """Heat of the region containing guest-physical page *gpn*."""
+        return self.heat(vm_id, gpn // PAGES_PER_HUGE, epoch)
+
+    def is_hot(self, vm_id: int, gpregion: int, epoch: int) -> bool:
+        """Frequently used, per the paper's Section 8 wording: decayed
+        heat at or above the threshold.  A region dirtied every epoch
+        always qualifies (each dirty epoch contributes a fresh 1.0); a
+        region never dirtied never does."""
+        return self.heat(vm_id, gpregion, epoch) >= self.hot_threshold
+
+    def forget_vm(self, vm_id: int) -> None:
+        self._heat.pop(vm_id, None)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.runtime import GeminiConfig
+from repro.pressure.config import PressureConfig
 from repro.tlb.model import TLBConfig
 
 __all__ = ["SimulationConfig"]
@@ -66,6 +67,9 @@ class SimulationConfig:
     #: Gemini runtime tunables, including the Figure 16 ablation switches
     #: (only used when the system is Gemini).
     gemini: GeminiConfig = field(default_factory=GeminiConfig)
+    #: Memory-pressure subsystem (working-set estimation, ballooning,
+    #: KSM, hypervisor swap); disabled by default.
+    pressure: PressureConfig = field(default_factory=PressureConfig)
 
     def __post_init__(self) -> None:
         if self.host_mib <= 0 or self.guest_mib <= 0:

@@ -31,6 +31,7 @@ from repro.metrics.alignment import alignment_report, classify_region
 from repro.metrics.performance import epoch_performance
 from repro.policies.base import EpochTelemetry
 from repro.policies.registry import system_spec
+from repro.pressure.controller import PressureController
 from repro.sim.config import SimulationConfig
 from repro.sim.noise import NoiseAgent
 from repro.sim.results import EpochRecord, RunResult
@@ -219,6 +220,12 @@ class Simulation:
                 fragmenter.fragment(self.config.fragment_guest)
                 self._fragmenters.append(fragmenter)
 
+        self.pressure: PressureController | None = None
+        if self.config.pressure.enabled:
+            self.pressure = PressureController(
+                self.platform, self.config.pressure
+            )
+
         self._last_misses = 0.0
         # Persistent ledger snapshots: each epoch's cost delta is taken
         # against these and they are advanced at delta time, so work done
@@ -300,6 +307,8 @@ class Simulation:
                 zip(self.workloads, self._vms)
             ):
                 self._charge_dedup_cow(workload, vm)
+                if self.pressure is not None:
+                    self.pressure.log_dirty(vm, workload, epoch)
                 segments = self._build_segments(workload, vm, epoch)
                 stats = self.tlb_model.evaluate(segments)
                 epoch_misses += stats.misses
@@ -370,6 +379,8 @@ class Simulation:
         self.platform.host.policy.scan(None)
         if self.runtime is not None:
             self.runtime.epoch(now=float(epoch), tlb_misses=self._last_misses)
+        if self.pressure is not None and epoch >= 0:
+            self.pressure.run(epoch)
 
     def _charge_dedup_cow(self, workload: Workload, vm: VM) -> None:
         charge_dedup_cow(vm, workload)

@@ -50,3 +50,14 @@ COW_FAULT_CYCLES = 4_000.0
 #: since it mostly overlaps with idle cores.
 SCAN_REGION_CYCLES = 30.0
 BACKGROUND_DISCOUNT = 0.25
+
+#: Mean cost of writing one page to the hypervisor swap device
+#: (background: the host writes victims out asynchronously).  Calibrated
+#: to fast NVMe-class backends, the regime Flexible-Swapping-style
+#: hypervisor swap targets; the device model adds a seeded jitter.
+SWAP_OUT_CYCLES = 150_000.0
+
+#: Mean cost of one demand swap-in fault (synchronous: the vCPU stalls on
+#: the EPT violation until the page is read back and remapped).  Roughly
+#: a device read plus the nested fault, so ~2-3x the write-out path.
+SWAP_IN_CYCLES = 400_000.0

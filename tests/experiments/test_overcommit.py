@@ -1,0 +1,58 @@
+"""Unit tests for the overcommit interplay experiment."""
+
+import pytest
+
+from repro.experiments.overcommit import (
+    OVERCOMMIT_CONFIG,
+    VICTIM_POLICIES,
+    format_overcommit,
+    overcommit_table,
+    run_overcommit,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_overcommit(epochs=3)
+
+
+def test_overcommit_grid_structure(results):
+    assert set(results) == {
+        f"{policy} ({label})"
+        for policy in VICTIM_POLICIES
+        for label in ("clean", "aged")
+    }
+    table = overcommit_table(results)
+    assert "aligned huge retained" in table
+    assert "swap-out Kpages" in table
+    for metrics in table.values():
+        assert set(metrics) == set(results)
+    for column, result in results.items():
+        # Every cell really ran overcommitted and under pressure.
+        assert result.fleet_swap_out_pages > 0, column
+        assert result.fleet_aligned_huge > 0, column
+    text = format_overcommit(results)
+    assert "Overcommit interplay" in text
+    assert "alignment-aware (aged)" in text
+
+
+def test_aware_policy_preserves_alignment_in_the_grid(results):
+    for label in ("clean", "aged"):
+        aware = results[f"alignment-aware ({label})"]
+        lru = results[f"lru-cold ({label})"]
+        assert (
+            aware.fleet_pressure_aligned_demotions
+            <= lru.fleet_pressure_aligned_demotions
+        )
+        assert aware.fleet_aligned_huge >= lru.fleet_aligned_huge
+    # On clean hosts the contrast is strict even at three epochs.
+    assert (
+        results["alignment-aware (clean)"].fleet_aligned_huge
+        > results["lru-cold (clean)"].fleet_aligned_huge
+    )
+
+
+def test_default_config_is_overcommitted_gemini():
+    assert OVERCOMMIT_CONFIG.system == "Gemini"
+    assert OVERCOMMIT_CONFIG.overcommit_ratio > 1.0
+    assert OVERCOMMIT_CONFIG.pressure.enabled

@@ -112,3 +112,25 @@ def test_deflated_pages_refault_on_touch():
     vma2 = vm.mmap(20, "heap2")
     platform.touch_vma(vm, vma2)
     assert vm.translate(vma2.start) is not None
+
+
+def test_inflate_and_deflate_emit_obs_counters():
+    from repro import obs
+
+    platform, vm = make_setup(host_policy=HostHuge())
+    vma = vm.mmap(PAGES_PER_HUGE, "arr")
+    platform.touch_vma(vm, vma)
+    vm.munmap("arr")
+    balloon = BalloonDriver(platform, vm, alignment_aware=False)
+    obs.enable()
+    try:
+        reclaimed = balloon.inflate(PAGES_PER_HUGE)
+        counters = obs.get().counters
+        assert counters["balloon.inflated_pages"] == PAGES_PER_HUGE
+        assert counters["balloon.reclaimed_pages"] == reclaimed > 0
+        assert counters["balloon.demoted_huge_pages"] >= 1
+        released = balloon.deflate()
+        assert obs.get().counters["balloon.deflated_pages"] == released > 0
+    finally:
+        obs.disable()
+        obs.clear_context()

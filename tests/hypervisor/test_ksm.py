@@ -95,3 +95,55 @@ def test_spare_aligned_keeps_well_aligned_pairs():
     )
     daemon.scan()
     assert platform.ept(vm.id).is_huge(gpregion)  # the aligned pair survived
+
+
+def _merged_gpns(platform, vms, seed):
+    """Scan with a fresh daemon; returns the set of (vm, gpn) pairs that
+    were remapped onto shared frames."""
+    before = {
+        (vm.id, gpn): hpn
+        for vm in vms
+        for gpn, hpn in platform.ept(vm.id).base_mappings()
+    }
+    daemon = KsmDaemon(platform, mergeable_fraction=0.3, seed=seed)
+    assert daemon.scan() > 0
+    after = {
+        (vm.id, gpn): hpn
+        for vm in vms
+        for gpn, hpn in platform.ept(vm.id).base_mappings()
+    }
+    return {key for key, hpn in before.items() if after[key] != hpn}
+
+
+def test_seed_selects_the_content_population():
+    # Regression: the daemon's seed used to be dead — content hashes came
+    # from a fresh unseeded RNG, so every seed merged the same pages.
+    merged_by_seed = {}
+    for seed in (0, 1, 2):
+        platform, vms = make_setup()
+        merged_by_seed[seed] = _merged_gpns(platform, vms, seed)
+    assert merged_by_seed[0] != merged_by_seed[1]
+    assert merged_by_seed[1] != merged_by_seed[2]
+
+
+def test_seed_zero_is_deterministic():
+    populations = []
+    for _ in range(2):
+        platform, vms = make_setup()
+        populations.append(_merged_gpns(platform, vms, 0))
+    assert populations[0] == populations[1]
+
+
+def test_scan_emits_obs_counters():
+    from repro import obs
+
+    platform, _vms = make_setup()
+    daemon = KsmDaemon(platform, mergeable_fraction=0.3)
+    obs.enable()
+    try:
+        merged = daemon.scan()
+        counters = obs.get().counters
+        assert counters["ksm.merged_pages"] == merged > 0
+    finally:
+        obs.disable()
+        obs.clear_context()

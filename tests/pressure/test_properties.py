@@ -1,0 +1,159 @@
+"""Property-based tests for the pressure subsystem: swap-device page
+conservation under arbitrary transfer sequences, working-set heat
+monotonicity, and whole-host page conservation through the ladder."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypervisor.platform import Platform
+from repro.mem.layout import PAGES_PER_HUGE
+from repro.mem.swap import SwapDevice
+from repro.policies.base import HugePagePolicy
+from repro.pressure import (
+    PressureConfig,
+    PressureController,
+    WorkingSetEstimator,
+)
+
+# ----------------------------------------------------------------------
+# Swap device: page conservation
+# ----------------------------------------------------------------------
+
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["out", "in", "drop"]),
+        st.integers(0, 2),
+        st.integers(0, 15),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(OPS)
+def test_device_conserves_pages(ops):
+    """No sequence of transfers loses or duplicates a page: the slot map
+    always equals out-traffic minus in-traffic minus dropped slots, and a
+    page is never double-swapped or read back twice."""
+    device = SwapDevice(seed=1)
+    model: dict[int, set[int]] = {}
+    dropped = 0
+    for op, vm, gpn in ops:
+        slots = model.setdefault(vm, set())
+        if op == "out":
+            if gpn in slots:
+                with pytest.raises(ValueError):
+                    device.swap_out(vm, gpn)
+            else:
+                device.swap_out(vm, gpn)
+                slots.add(gpn)
+        elif op == "in":
+            if gpn in slots:
+                device.swap_in(vm, gpn)
+                slots.remove(gpn)
+            else:
+                with pytest.raises(ValueError):
+                    device.swap_in(vm, gpn)
+        else:
+            dropped += len(slots)
+            assert device.drop_vm(vm) == len(slots)
+            slots.clear()
+        assert device.total_swapped == sum(len(s) for s in model.values())
+        assert (
+            device.pages_out - device.pages_in - dropped
+            == device.total_swapped
+        )
+    for vm, slots in model.items():
+        assert device.swapped(vm) == sorted(slots)
+
+
+# ----------------------------------------------------------------------
+# Working-set estimator: heat closed form and monotonicity
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.booleans(), min_size=1, max_size=30),
+    st.floats(min_value=0.1, max_value=0.9),
+)
+def test_heat_matches_closed_form(schedule, decay):
+    """Lazy decay must equal the eager fold: heat at epoch e is the sum
+    of decay^(e - d) over all dirty epochs d <= e."""
+    wse = WorkingSetEstimator(decay=decay)
+    expected = 0.0
+    for epoch, dirty in enumerate(schedule):
+        expected *= decay
+        if dirty:
+            wse.log_dirty_regions(0, [3], epoch)
+            expected += 1.0
+        assert wse.heat(0, 3, epoch) == pytest.approx(expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.booleans(), min_size=1, max_size=30))
+def test_heat_is_monotone_in_the_dirty_schedule(schedule):
+    """A region dirtied every epoch dominates any sub-schedule, stays hot
+    at every epoch, and a never-dirtied region stays exactly cold."""
+    wse = WorkingSetEstimator(decay=0.5, hot_threshold=0.5)
+    for epoch, dirty in enumerate(schedule):
+        wse.log_dirty_regions(1, [0], epoch)  # region 0: every epoch
+        if dirty:
+            wse.log_dirty_regions(1, [1], epoch)  # region 1: sub-schedule
+        assert wse.is_hot(1, 0, epoch)
+        assert wse.heat(1, 1, epoch) <= wse.heat(1, 0, epoch)
+        assert wse.heat(1, 2, epoch) == 0.0
+        assert not wse.is_hot(1, 2, epoch)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10), st.integers(1, 12))
+def test_quiet_heat_only_decays(last_dirty, gap):
+    wse = WorkingSetEstimator(decay=0.5)
+    for epoch in range(last_dirty + 1):
+        wse.log_dirty_regions(0, [0], epoch)
+    previous = wse.heat(0, 0, last_dirty)
+    for epoch in range(last_dirty + 1, last_dirty + 1 + gap):
+        current = wse.heat(0, 0, epoch)
+        assert current < previous
+        previous = current
+
+
+# ----------------------------------------------------------------------
+# Whole host: the ladder never loses a guest page
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.lists(st.integers(1, 8), min_size=2, max_size=4),
+    st.integers(0, 3),
+)
+def test_ladder_conserves_guest_pages(regions_per_vm, extra_epochs):
+    """Fill a host exactly (the last touches go through emergency
+    reclaim), run the ladder, and check every touched guest page is
+    either EPT-resident or on swap — never both, never neither."""
+    platform = Platform(
+        sum(regions_per_vm) * PAGES_PER_HUGE, HugePagePolicy()
+    )
+    config = PressureConfig(
+        enabled=True, balloon_cap=0.0, ksm_budget=0, seed=5
+    )
+    controller = PressureController(platform, config)
+    vms = []
+    for regions in regions_per_vm:
+        vm = platform.create_vm(8 * PAGES_PER_HUGE, HugePagePolicy())
+        vma = vm.mmap(regions * PAGES_PER_HUGE, "heap")
+        platform.touch_vma(vm, vma)
+        vms.append((vm, regions))
+    for epoch in range(extra_epochs + 1):
+        controller.run(epoch)
+    device = controller.device
+    for vm, regions in vms:
+        ept = platform.ept(vm.id)
+        swapped = set(device.swapped(vm.id))
+        for gpn in range(regions * PAGES_PER_HUGE):
+            resident = ept.translate(gpn) is not None
+            assert resident != (gpn in swapped), (vm.id, gpn)
+    assert device.pages_out - device.pages_in == device.total_swapped

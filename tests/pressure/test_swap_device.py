@@ -1,0 +1,88 @@
+"""Unit tests for the hypervisor swap device model."""
+
+import pytest
+
+from repro.mem.swap import SwapDevice
+from repro.tlb import costs
+
+
+def test_jitter_validation():
+    with pytest.raises(ValueError):
+        SwapDevice(jitter=1.0)
+    with pytest.raises(ValueError):
+        SwapDevice(jitter=-0.1)
+
+
+def test_out_then_in_roundtrip():
+    device = SwapDevice(seed=1)
+    cost_out = device.swap_out(3, 42)
+    assert device.contains(3, 42)
+    assert device.swapped(3) == [42]
+    assert device.total_swapped == 1
+    assert device.pages_out == 1
+    assert cost_out > 0
+    cost_in = device.swap_in(3, 42)
+    assert not device.contains(3, 42)
+    assert device.total_swapped == 0
+    assert device.pages_in == 1
+    assert cost_in > cost_out  # demand faults are the expensive direction
+
+
+def test_double_swap_out_rejected():
+    device = SwapDevice()
+    device.swap_out(1, 7)
+    with pytest.raises(ValueError):
+        device.swap_out(1, 7)
+
+
+def test_swap_in_of_resident_page_rejected():
+    device = SwapDevice()
+    with pytest.raises(ValueError):
+        device.swap_in(1, 7)
+
+
+def test_swapped_listing_is_sorted():
+    device = SwapDevice()
+    for gpn in (9, 3, 27, 1):
+        device.swap_out(0, gpn)
+    assert device.swapped(0) == [1, 3, 9, 27]
+    assert device.swapped(99) == []
+
+
+def test_costs_jittered_around_means():
+    device = SwapDevice(seed=9, jitter=0.2)
+    for gpn in range(200):
+        out = device.swap_out(0, gpn)
+        assert 0.8 * costs.SWAP_OUT_CYCLES <= out <= 1.2 * costs.SWAP_OUT_CYCLES
+    for gpn in range(200):
+        back = device.swap_in(0, gpn)
+        assert 0.8 * costs.SWAP_IN_CYCLES <= back <= 1.2 * costs.SWAP_IN_CYCLES
+
+
+def test_zero_jitter_is_exact():
+    device = SwapDevice(jitter=0.0)
+    assert device.swap_out(0, 0) == costs.SWAP_OUT_CYCLES
+    assert device.swap_in(0, 0) == costs.SWAP_IN_CYCLES
+
+
+def test_seed_determinism():
+    def draws(seed):
+        device = SwapDevice(seed=seed)
+        return [device.swap_out(0, gpn) for gpn in range(8)]
+
+    assert draws(5) == draws(5)
+    assert draws(5) != draws(6)
+
+
+def test_drop_vm_releases_slots():
+    device = SwapDevice()
+    for gpn in range(4):
+        device.swap_out(2, gpn)
+    device.swap_out(3, 0)
+    assert device.drop_vm(2) == 4
+    assert device.swapped(2) == []
+    assert device.total_swapped == 1
+    assert device.drop_vm(2) == 0
+    # Traffic counters record history, not residency.
+    assert device.pages_out == 5
+    assert device.pages_in == 0

@@ -1,0 +1,81 @@
+"""Unit tests for swap victim-selection policies."""
+
+import pytest
+
+from repro.pressure import (
+    BACKING_ALIGNED_HUGE,
+    BACKING_BASE,
+    BACKING_MISALIGNED_HUGE,
+    AlignmentAwareVictims,
+    LruColdVictims,
+    VictimCandidate,
+    make_victim_policy,
+    victim_names,
+)
+
+
+def _candidate(vm_id, gpregion, backing, heat):
+    return VictimCandidate(
+        vm_id=vm_id,
+        gpregion=gpregion,
+        backing=backing,
+        heat=heat,
+        hot=heat >= 0.5,
+        backed_pages=512,
+    )
+
+
+BASE_COLD = _candidate(0, 0, BACKING_BASE, 0.1)
+BASE_HOT = _candidate(0, 1, BACKING_BASE, 2.0)
+MIS_COLD = _candidate(1, 0, BACKING_MISALIGNED_HUGE, 0.0)
+MIS_HOT = _candidate(1, 1, BACKING_MISALIGNED_HUGE, 1.5)
+ALIGNED_COLD = _candidate(2, 0, BACKING_ALIGNED_HUGE, 0.05)
+ALIGNED_HOT = _candidate(2, 1, BACKING_ALIGNED_HUGE, 1.9)
+
+ALL = [ALIGNED_HOT, BASE_HOT, MIS_COLD, ALIGNED_COLD, BASE_COLD, MIS_HOT]
+
+
+def test_registry():
+    assert victim_names() == ["lru-cold", "alignment-aware"]
+    assert isinstance(make_victim_policy("lru-cold"), LruColdVictims)
+    assert isinstance(
+        make_victim_policy("alignment-aware"), AlignmentAwareVictims
+    )
+    with pytest.raises(ValueError):
+        make_victim_policy("nope")
+
+
+def test_lru_cold_orders_purely_by_heat():
+    order = LruColdVictims().order(ALL, critical=False)
+    assert order == [
+        MIS_COLD, ALIGNED_COLD, BASE_COLD, MIS_HOT, ALIGNED_HOT, BASE_HOT
+    ]
+    # lru-cold never filters anything, critical or not.
+    assert LruColdVictims().order(ALL, critical=True) == order
+
+
+def test_alignment_aware_tiers_before_heat():
+    order = AlignmentAwareVictims().order(ALL, critical=False)
+    # Base first (coldest first within the tier), then misaligned huge,
+    # then well-aligned-but-cold; well-aligned hot is withheld.
+    assert order == [BASE_COLD, BASE_HOT, MIS_COLD, MIS_HOT, ALIGNED_COLD]
+    assert ALIGNED_HOT not in order
+
+
+def test_alignment_aware_releases_hot_aligned_only_when_critical():
+    order = AlignmentAwareVictims().order(ALL, critical=True)
+    assert order[-1] is ALIGNED_HOT
+    assert order[:-1] == AlignmentAwareVictims().order(ALL, critical=False)
+
+
+def test_ties_break_deterministically():
+    twins = [
+        _candidate(1, 5, BACKING_BASE, 0.2),
+        _candidate(0, 9, BACKING_BASE, 0.2),
+        _candidate(0, 3, BACKING_BASE, 0.2),
+    ]
+    for policy in (LruColdVictims(), AlignmentAwareVictims()):
+        order = policy.order(twins, critical=False)
+        assert [(c.vm_id, c.gpregion) for c in order] == [
+            (0, 3), (0, 9), (1, 5)
+        ]

@@ -1,0 +1,67 @@
+"""Unit tests for the PML-driven working-set estimator."""
+
+import pytest
+
+from repro.mem.layout import PAGES_PER_HUGE
+from repro.pressure import WorkingSetEstimator
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        WorkingSetEstimator(decay=0.0)
+    with pytest.raises(ValueError):
+        WorkingSetEstimator(decay=1.0)
+    with pytest.raises(ValueError):
+        WorkingSetEstimator(hot_threshold=0.0)
+
+
+def test_never_dirty_is_cold():
+    wse = WorkingSetEstimator()
+    assert wse.heat(0, 5, 10) == 0.0
+    assert not wse.is_hot(0, 5, 10)
+
+
+def test_single_dirty_epoch_decays():
+    wse = WorkingSetEstimator(decay=0.5, hot_threshold=0.5)
+    wse.log_dirty_regions(1, [4], epoch=0)
+    assert wse.heat(1, 4, 0) == 1.0
+    assert wse.heat(1, 4, 1) == 0.5
+    assert wse.heat(1, 4, 3) == 0.125
+    assert wse.is_hot(1, 4, 1)
+    assert not wse.is_hot(1, 4, 2)
+
+
+def test_heat_accumulates_across_dirty_epochs():
+    wse = WorkingSetEstimator(decay=0.5)
+    wse.log_dirty_regions(1, [0], epoch=0)
+    wse.log_dirty_regions(1, [0], epoch=1)
+    assert wse.heat(1, 0, 1) == pytest.approx(1.5)
+    wse.log_dirty_regions(1, [0], epoch=2)
+    assert wse.heat(1, 0, 2) == pytest.approx(1.75)
+
+
+def test_every_epoch_dirty_stays_hot():
+    wse = WorkingSetEstimator(decay=0.5, hot_threshold=0.5)
+    for epoch in range(10):
+        wse.log_dirty_regions(2, [7], epoch)
+        assert wse.is_hot(2, 7, epoch)
+
+
+def test_gpn_folding_to_regions():
+    wse = WorkingSetEstimator()
+    wse.log_dirty(3, [0, 1, 2, PAGES_PER_HUGE, PAGES_PER_HUGE + 5], epoch=0)
+    # Three dirty pages in region 0 still count as one dirty epoch.
+    assert wse.heat(3, 0, 0) == 1.0
+    assert wse.heat(3, 1, 0) == 1.0
+    assert wse.heat(3, 2, 0) == 0.0
+    assert wse.page_heat(3, PAGES_PER_HUGE + 100, 0) == 1.0
+
+
+def test_forget_vm_is_scoped():
+    wse = WorkingSetEstimator()
+    wse.log_dirty_regions(1, [0], epoch=0)
+    wse.log_dirty_regions(2, [0], epoch=0)
+    wse.forget_vm(1)
+    assert wse.heat(1, 0, 0) == 0.0
+    assert wse.heat(2, 0, 0) == 1.0
+    wse.forget_vm(1)  # idempotent

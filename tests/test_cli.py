@@ -182,3 +182,30 @@ def test_profile_report_lands_in_trace_dir(tmp_path, capsys, _trace_env):
     stdout = capsys.readouterr().out
     assert "cumulative" in stdout  # still printed
     assert "cumulative" in (out / "profile.txt").read_text()
+
+
+def test_pressure_command(capsys):
+    code = main([
+        "pressure", "--hosts", "2", "--epochs", "3", "--seed", "7",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fleet: 2 hosts x 3 epochs" in out
+    assert "overcommit ratio     2.50x" in out
+    assert "alignment-aware" in out
+    assert "swap traffic" in out
+    assert "pressure demotions" in out
+    assert "aligned huge retained" in out
+    assert "final pressure" in out
+
+
+def test_pressure_victim_choices_enforced():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["pressure", "--victims", "not-a-policy"])
+    args = build_parser().parse_args(["pressure", "--victims", "lru-cold"])
+    assert args.victims == "lru-cold"
+
+
+def test_overcommit_experiment_is_registered():
+    args = build_parser().parse_args(["experiment", "overcommit"])
+    assert args.name == "overcommit"

@@ -58,6 +58,7 @@ def test_every_subpackage_reexports_consistently():
         "repro.workloads",
         "repro.metrics",
         "repro.sim",
+        "repro.pressure",
         "repro.experiments",
     ):
         package = importlib.import_module(package_name)
