@@ -65,6 +65,7 @@ from repro import obs
 from repro.cluster import ClusterConfig, ClusterSimulation
 from repro.cluster.config import ChurnConfig
 from repro.exec import Cell, ResultCache, run_cells
+from repro.obs.bench import append_history
 from repro.obs.export import chrome_trace, events_to_jsonl
 from repro.pressure import PressureConfig
 from repro.sim.config import SimulationConfig
@@ -473,6 +474,12 @@ def test_perf_smoke(tmp_path):
         },
     }
     BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
+    append_history(
+        report,
+        BENCH_JSON.parent / "BENCH_history.jsonl",
+        timestamp=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        rev=os.environ.get("GITHUB_SHA"),
+    )
 
     # Machine-independent: batching strictly removes per-page Python work.
     assert batched_s <= per_page_s * 1.10

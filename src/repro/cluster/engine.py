@@ -301,6 +301,7 @@ class ClusterSimulation:
         self._obs_reset_workers(pool)
         self._spool_every = _resolve_spool(config)
         self.ipc_bytes_epochs = []
+        telemetry, recorder, installed_monitor = self._obs_attach_health(pool)
         try:
             for epoch in range(config.epochs):
                 pool.drain_window.clear()
@@ -335,9 +336,46 @@ class ClusterSimulation:
                 # never spools, so sweep once before the states come home.
                 self._obs_sweep_workers(pool)
             self.hosts = pool.gather()
+        except BaseException as error:
+            if recorder is not None:
+                recorder.dump("exception", config=config, error=error)
+            raise
         finally:
+            if installed_monitor and telemetry is not None:
+                telemetry.monitor = None
             pool.close()
         return self.result
+
+    def _obs_attach_health(self, pool: ActorPool):
+        """Install the health watchdogs for this run (controller only).
+
+        Workers never carry a monitor — ``_obs_reset_workers`` rebuilt
+        their registries bare — so each host's stream is audited exactly
+        once, in its canonical per-host order, whatever the process
+        layout.  With a trace directory configured, a flight recorder is
+        armed on watchdog breaches and worker exceptions.
+        """
+        telemetry = obs.get()
+        if telemetry is None:
+            return None, None, False
+        from repro.obs.health import FlightRecorder, HealthMonitor
+
+        installed = False
+        if telemetry.monitor is None:
+            telemetry.monitor = HealthMonitor()
+            installed = True
+        out_dir = obs.trace_out_dir()
+        recorder = None
+        if out_dir is not None:
+            recorder = FlightRecorder(telemetry, out_dir)
+            config = self.config
+            telemetry.monitor.on_breach = (
+                lambda finding: recorder.breach(finding, config=config)
+            )
+            pool.on_failure = lambda error: recorder.dump(
+                "worker-exception", config=config, error=error
+            )
+        return telemetry, recorder, installed
 
     def _obs_reset_workers(self, pool: ActorPool) -> None:
         """One post-scatter round-trip (telemetry on, real pool only)."""

@@ -276,6 +276,11 @@ class ActorPool:
         #: Per-drain timing, appended by every drain; callers own the
         #: window (clear it, read it) to implement adaptive fallback.
         self.drain_window: list[DrainStats] = []
+        #: Optional hook invoked with the captured worker exception just
+        #: before a drain/transfer re-raises it — the flight recorder
+        #: dumps its postmortem bundle here, while the pool (and the
+        #: controller's telemetry) still reflect the failing batch.
+        self.on_failure = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -492,6 +497,8 @@ class ActorPool:
             )
         )
         if failure is not None:
+            if self.on_failure is not None:
+                self.on_failure(failure)
             raise failure
         return results
 
@@ -580,6 +587,8 @@ class ActorPool:
             )
         )
         if failure is not None:
+            if self.on_failure is not None:
+                self.on_failure(failure)
             raise failure
         return replies["out"], replies["in"]
 

@@ -26,6 +26,11 @@ __all__ = [
     "format_fleet_summary",
     "format_top_spans",
     "telemetry_series_to_csv",
+    "format_critical_path",
+    "format_histograms",
+    "format_health_summary",
+    "format_run_diff",
+    "format_bench_compare",
 ]
 
 #: RunResult properties exported by default.
@@ -292,5 +297,140 @@ def format_top_spans(spans: Mapping[str, Mapping[str, float]], n: int = 5) -> st
         lines.append(
             f"| {name} | {int(stat['count'])} "
             f"| {stat['total_s'] * 1e3:.2f} | {stat['self_s'] * 1e3:.2f} |"
+        )
+    return "\n".join(lines)
+
+
+def format_critical_path(report, n: int = 4) -> str:
+    """Render a :class:`repro.obs.analyze.CriticalPathReport` as text.
+
+    Top dominant-child walks first (with the share of root time each
+    accounts for), then the per-span "where did the time go" self-time
+    table over the matched trees.
+    """
+    if not report.epochs:
+        return "no root spans matched"
+    lines = [
+        f"critical paths over {report.epochs} "
+        f"{'/'.join(report.roots)} spans "
+        f"({report.total_s * 1e3:.2f} ms total):"
+    ]
+    for path in report.paths[:n]:
+        lines.append(
+            f"  {path.share * 100:5.1f}%  {' > '.join(path.path)}  "
+            f"({path.total_s * 1e3:.2f} ms, {path.count} epochs)"
+        )
+    ranked = sorted(
+        report.attribution.items(),
+        key=lambda item: (-item[1]["self_s"], item[0]),
+    )[:n + 2]
+    lines.append("where the time went (self time):")
+    for name, stat in ranked:
+        share = stat["self_s"] / report.total_s if report.total_s else 0.0
+        lines.append(
+            f"  {share * 100:5.1f}%  {name}  "
+            f"({stat['self_s'] * 1e3:.2f} ms over {int(stat['count'])} spans)"
+        )
+    return "\n".join(lines)
+
+
+def format_histograms(summary: Mapping[str, Mapping[str, float]],
+                      n: int = 8) -> str:
+    """Markdown table of histogram quantiles.
+
+    *summary* is :meth:`repro.obs.Telemetry.histogram_summary` output.
+    """
+    if not summary:
+        return "no histograms recorded"
+    lines = [
+        "| histogram | count | mean | p50 | p95 | p99 | max |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for name in sorted(summary)[:n]:
+        stat = summary[name]
+        lines.append(
+            f"| {name} | {int(stat['count'])} | {stat['mean']:.4g} "
+            f"| {stat['p50']:.4g} | {stat['p95']:.4g} "
+            f"| {stat['p99']:.4g} | {stat['max']:.4g} |"
+        )
+    return "\n".join(lines)
+
+
+def format_health_summary(events) -> str:
+    """One line per ``health.*`` kind found in the event stream."""
+    from repro.obs.analyze import host_range_text
+    from repro.obs.health import summarize_health
+
+    summary = summarize_health(events)
+    if not summary:
+        return "health: no watchdog findings"
+    lines = ["health findings:"]
+    for kind in sorted(summary):
+        entry = summary[kind]
+        lines.append(
+            f"  {kind}: {entry['count']} on {host_range_text(entry['hosts'])}"
+        )
+    return "\n".join(lines)
+
+
+def format_run_diff(diff) -> str:
+    """Render a :class:`repro.obs.analyze.RunDiff` for the CLI."""
+    lines = [f"diff: {diff.a_label} vs {diff.b_label}"]
+    if diff.deterministic_match:
+        lines.append(
+            "deterministic state: IDENTICAL "
+            "(event streams and counters match)"
+        )
+    else:
+        lines.append("deterministic state: DIVERGED")
+        for name, value_a, value_b in diff.counter_deltas[:10]:
+            lines.append(f"  counter {name}: {value_a:g} -> {value_b:g}")
+        if len(diff.counter_deltas) > 10:
+            lines.append(
+                f"  ... {len(diff.counter_deltas) - 10} more counters"
+            )
+        for host in list(diff.divergence)[:10]:
+            entry = diff.divergence[host]
+            where = "controller" if host is None else f"host {host}"
+            if entry.first_seq is not None:
+                lines.append(
+                    f"  events on {where}: first mismatch at seq "
+                    f"{entry.first_seq} ({entry.first_kind}); "
+                    f"{entry.len_a} vs {entry.len_b} events"
+                )
+            else:
+                lines.append(
+                    f"  events on {where}: "
+                    f"{entry.len_a} vs {entry.len_b} events"
+                )
+    if diff.attributions:
+        lines.append("attributed deltas:")
+        for text in diff.attributions:
+            lines.append(f"  {text}")
+    elif not diff.span_deltas:
+        lines.append(
+            f"timing: span self-times within +/-{diff.threshold * 100:.0f}%"
+        )
+    return "\n".join(lines)
+
+
+def format_bench_compare(comparison, threshold: float) -> str:
+    """Render a :class:`repro.obs.bench.BenchComparison` for the CLI."""
+    lines = [
+        f"bench compare: {comparison.checked} gated metrics vs median of "
+        f"{comparison.baseline_runs} recorded runs "
+        f"(threshold {threshold * 100:.0f}%)"
+    ]
+    if comparison.ok:
+        lines.append("no regressions beyond threshold")
+    for drift in comparison.regressions:
+        lines.append(
+            f"  REGRESSION {drift.name}: {drift.baseline:.4g} -> "
+            f"{drift.value:.4g} ({drift.drift:+.1%})"
+        )
+    for drift in comparison.improvements[:5]:
+        lines.append(
+            f"  improved {drift.name}: {drift.baseline:.4g} -> "
+            f"{drift.value:.4g} ({drift.drift:+.1%})"
         )
     return "\n".join(lines)

@@ -40,7 +40,7 @@ import os
 import pickle
 import zlib
 
-from repro.obs import export
+from repro.obs import analyze, bench, export, health
 from repro.obs.clock import Clock, ManualClock
 from repro.obs.events import DEFAULT_CAPACITY, Event, EventRing
 from repro.obs.telemetry import (
@@ -79,6 +79,9 @@ __all__ = [
     "snapshot_blob",
     "merge_blob",
     "export",
+    "analyze",
+    "bench",
+    "health",
 ]
 
 #: The process-wide registry; None means telemetry is disabled and all

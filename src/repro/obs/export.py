@@ -127,6 +127,7 @@ def write_chrome_trace(telemetry: Telemetry, path: str | pathlib.Path,
 _SERIES_KINDS = frozenset({
     "host.epoch", "sim.epoch", "booking.book", "booking.expire",
     "promote.guest", "promote.host", "fleet.migrate",
+    "pressure.watermark", "swap.out", "swap.in", "pressure.demote",
 })
 
 
@@ -171,6 +172,25 @@ def timeseries_rows(events: Iterable[Event]) -> list[dict[str, object]]:
             )
         elif event.kind == "fleet.migrate":
             row["migrations"] = row["migrations"] + 1  # type: ignore[operator]
+        elif event.kind == "swap.out":
+            row["swap_out_pages"] = (
+                row.get("swap_out_pages", 0)
+                + dict(event.fields).get("pages", 0)  # type: ignore[operator]
+            )
+        elif event.kind == "swap.in":
+            row["swap_in_pages"] = (
+                row.get("swap_in_pages", 0)
+                + dict(event.fields).get("pages", 0)  # type: ignore[operator]
+            )
+        elif event.kind == "pressure.demote":
+            row["aligned_demotions"] = (
+                row.get("aligned_demotions", 0)
+                + dict(event.fields).get("aligned", 0)  # type: ignore[operator]
+            )
+        elif event.kind == "pressure.watermark":
+            fields = dict(event.fields)
+            row["watermark"] = fields.get("level", "")
+            row["free_pages"] = fields.get("free_pages", "")
         else:  # host.epoch / sim.epoch summary records
             for key_name, value in event.fields:
                 row[key_name] = value
@@ -190,8 +210,10 @@ def export_run(
     """Write all exports for one run into *out_dir*.
 
     Produces ``events.jsonl``, ``trace.json`` (Chrome/Perfetto),
-    ``series.csv`` and ``spans.json``; returns the paths keyed by
-    artifact name.
+    ``series.csv``, ``spans.json`` and ``stats.json`` (volume
+    accounting — including any dropped spans — plus counters, gauges
+    and histogram quantiles, the deterministic side of the run that
+    ``repro diff`` compares); returns the paths keyed by artifact name.
     """
     from repro.metrics.report import telemetry_series_to_csv
 
@@ -202,6 +224,7 @@ def export_run(
         "trace": out / "trace.json",
         "series": out / "series.csv",
         "spans": out / "spans.json",
+        "stats": out / "stats.json",
     }
     events = telemetry.events()
     write_jsonl(events, paths["events"])
@@ -209,5 +232,19 @@ def export_run(
     paths["series"].write_text(telemetry_series_to_csv(timeseries_rows(events)))
     paths["spans"].write_text(
         json.dumps(telemetry.span_stats(), indent=2, sort_keys=True) + "\n"
+    )
+    paths["stats"].write_text(
+        json.dumps(
+            {
+                "stats": telemetry.stats(),
+                "counters": dict(telemetry.counters),
+                "gauges": dict(telemetry.gauges),
+                "histograms": telemetry.histogram_summary(),
+            },
+            indent=2,
+            sort_keys=True,
+            default=str,
+        )
+        + "\n"
     )
     return paths

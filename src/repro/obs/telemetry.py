@@ -18,6 +18,7 @@ into the fused-epoch spool and the controller folds back in with
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.obs.clock import Clock
@@ -66,9 +67,8 @@ class TelemetrySnapshot:
 
     counters: dict[str, float] = field(default_factory=dict)
     gauges: dict[str, float] = field(default_factory=dict)
-    histograms: dict[str, tuple[int, float, float, float]] = field(
-        default_factory=dict
-    )
+    #: name -> (count, total, min, max, samples, stride)
+    histograms: dict[str, tuple] = field(default_factory=dict)
     #: name -> [count, total_s, child_s]
     span_stats: dict[str, list] = field(default_factory=dict)
     #: (name, host, start_s, duration_s, depth) tuples for trace export.
@@ -77,6 +77,7 @@ class TelemetrySnapshot:
     emitted: int = 0
     sampled: int = 0
     dropped: int = 0
+    span_dropped: int = 0
 
 
 class _SpanHandle:
@@ -116,6 +117,8 @@ class _SpanHandle:
             telemetry._span_trace.append(
                 (self.name, _context[0], self._start, elapsed, self._depth)
             )
+        else:
+            telemetry.spans_dropped += 1
         return False
 
 
@@ -125,6 +128,11 @@ class Telemetry:
     Not thread-safe by design: the simulator is single-threaded per
     process, and the cross-*process* path goes through snapshots.
     """
+
+    #: Bound on per-histogram quantile samples.  When a reservoir fills
+    #: up, every other sample is discarded and the keep-stride doubles —
+    #: a deterministic decimation, so serial and merged runs agree.
+    RESERVOIR_CAP = 256
 
     def __init__(
         self,
@@ -137,16 +145,21 @@ class Telemetry:
         self.span_capacity = span_capacity
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
-        #: name -> [count, total, min, max]
+        #: name -> [count, total, min, max, reservoir, stride]
         self._histograms: dict[str, list] = {}
         self._span_stack: list[_SpanHandle] = []
         #: name -> [count, total_s, child_s]
         self._span_stats: dict[str, list] = {}
         self._span_trace: list[tuple] = []
+        self.spans_dropped = 0
         self.ring = EventRing(capacity, sample)
         #: Per-host event sequence counters; survive snapshot resets so
         #: spool drains continue each host's sequence where it left off.
         self._seqs: dict[int | None, int] = {}
+        #: Optional online consumer of the event stream (a
+        #: :class:`repro.obs.health.HealthMonitor`).  Fed every buffered
+        #: event — local emissions and merged worker snapshots alike.
+        self.monitor = None
 
     # -- scalar metrics ------------------------------------------------
 
@@ -159,19 +172,58 @@ class Telemetry:
     def observe(self, name: str, value: float) -> None:
         stat = self._histograms.get(name)
         if stat is None:
-            self._histograms[name] = [1, value, value, value]
-        else:
-            stat[0] += 1
-            stat[1] += value
-            if value < stat[2]:
-                stat[2] = value
-            if value > stat[3]:
-                stat[3] = value
+            self._histograms[name] = [1, value, value, value, [value], 1]
+            return
+        stat[0] += 1
+        stat[1] += value
+        if value < stat[2]:
+            stat[2] = value
+        if value > stat[3]:
+            stat[3] = value
+        if (stat[0] - 1) % stat[5] == 0:
+            stat[4].append(value)
+            if len(stat[4]) > self.RESERVOIR_CAP:
+                del stat[4][1::2]
+                stat[5] *= 2
 
     def histogram(self, name: str) -> tuple[int, float, float, float] | None:
         """``(count, total, min, max)`` for *name*, or None."""
         stat = self._histograms.get(name)
-        return tuple(stat) if stat is not None else None
+        return tuple(stat[:4]) if stat is not None else None
+
+    def quantiles(
+        self, name: str, qs: tuple[float, ...] = (0.5, 0.95, 0.99)
+    ) -> dict[float, float] | None:
+        """Approximate quantiles from the bounded reservoir, or None.
+
+        Nearest-rank over the kept samples; exact while fewer than
+        ``RESERVOIR_CAP`` values have been observed.
+        """
+        stat = self._histograms.get(name)
+        if stat is None or not stat[4]:
+            return None
+        samples = sorted(stat[4])
+        top = len(samples) - 1
+        return {
+            q: samples[min(top, max(0, math.ceil(q * len(samples)) - 1))]
+            for q in qs
+        }
+
+    def histogram_summary(self) -> dict[str, dict[str, float]]:
+        """Per-name histogram roll-up including p50/p95/p99."""
+        out: dict[str, dict[str, float]] = {}
+        for name, stat in self._histograms.items():
+            quantiles = self.quantiles(name) or {}
+            out[name] = {
+                "count": stat[0],
+                "mean": stat[1] / stat[0] if stat[0] else 0.0,
+                "min": stat[2],
+                "max": stat[3],
+                "p50": quantiles.get(0.5, stat[3]),
+                "p95": quantiles.get(0.95, stat[3]),
+                "p99": quantiles.get(0.99, stat[3]),
+            }
+        return out
 
     # -- spans ---------------------------------------------------------
 
@@ -216,16 +268,17 @@ class Telemetry:
         self._seqs[host] = seq
         if not self.ring.want(kind, host):
             return
-        self.ring.append(
-            Event(
-                kind=kind,
-                host=host,
-                epoch=epoch,
-                seq=seq,
-                wall=self.clock.now(),
-                fields=tuple(sorted(fields.items())),
-            )
+        event = Event(
+            kind=kind,
+            host=host,
+            epoch=epoch,
+            seq=seq,
+            wall=self.clock.now(),
+            fields=tuple(sorted(fields.items())),
         )
+        self.ring.append(event)
+        if self.monitor is not None:
+            self.monitor.feed(self, event)
 
     def events(self) -> list[Event]:
         return self.ring.events()
@@ -243,7 +296,8 @@ class Telemetry:
             counters=dict(self.counters),
             gauges=dict(self.gauges),
             histograms={
-                name: tuple(stat) for name, stat in self._histograms.items()
+                name: (*stat[:4], tuple(stat[4]), stat[5])
+                for name, stat in self._histograms.items()
             },
             span_stats={
                 name: list(stat) for name, stat in self._span_stats.items()
@@ -253,6 +307,7 @@ class Telemetry:
             emitted=self.ring.emitted,
             sampled=self.ring.sampled,
             dropped=self.ring.dropped,
+            span_dropped=self.spans_dropped,
         )
         if reset:
             self.counters.clear()
@@ -260,6 +315,7 @@ class Telemetry:
             self._histograms.clear()
             self._span_stats.clear()
             self._span_trace.clear()
+            self.spans_dropped = 0
             # Volume counters are per-interval so repeated spool merges
             # add cleanly; the sampling stride counters are kept.
             self.ring.emitted = 0
@@ -275,12 +331,19 @@ class Telemetry:
         for name, stat in snapshot.histograms.items():
             mine = self._histograms.get(name)
             if mine is None:
-                self._histograms[name] = list(stat)
+                self._histograms[name] = [
+                    *stat[:4], list(stat[4]), stat[5]
+                ]
             else:
                 mine[0] += stat[0]
                 mine[1] += stat[1]
                 mine[2] = min(mine[2], stat[2])
                 mine[3] = max(mine[3], stat[3])
+                mine[4].extend(stat[4])
+                mine[5] = max(mine[5], stat[5])
+                while len(mine[4]) > self.RESERVOIR_CAP:
+                    del mine[4][1::2]
+                    mine[5] *= 2
         for name, stat in snapshot.span_stats.items():
             mine = self._span_stats.get(name)
             if mine is None:
@@ -290,12 +353,25 @@ class Telemetry:
                 mine[1] += stat[1]
                 mine[2] += stat[2]
         room = self.span_capacity - len(self._span_trace)
-        if room > 0:
-            self._span_trace.extend(snapshot.span_trace[:room])
+        kept = max(0, min(room, len(snapshot.span_trace)))
+        if kept:
+            self._span_trace.extend(snapshot.span_trace[:kept])
+        self.spans_dropped += snapshot.span_dropped
+        self.spans_dropped += len(snapshot.span_trace) - kept
         self.ring.emitted += snapshot.emitted
         self.ring.sampled += snapshot.sampled
         self.ring.dropped += snapshot.dropped
-        self.ring.extend(snapshot.events)
+        if self.monitor is None:
+            self.ring.extend(snapshot.events)
+        else:
+            # Interleave watchdog feeding with the append so any
+            # ``health.*`` finding lands right after its trigger — the
+            # same relative position it gets when the trigger is emitted
+            # locally (serial runs), keeping per-host streams identical
+            # across process layouts.
+            for event in snapshot.events:
+                self.ring.extend((event,))
+                self.monitor.feed(self, event)
 
     def stats(self) -> dict[str, object]:
         """Volume accounting for reports and overhead checks."""
@@ -305,4 +381,5 @@ class Telemetry:
             "events_dropped": self.ring.dropped,
             "events_buffered": len(self.ring),
             "spans_closed": sum(s[0] for s in self._span_stats.values()),
+            "spans_dropped": self.spans_dropped,
         }

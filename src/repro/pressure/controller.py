@@ -123,6 +123,7 @@ class PressureController:
         )
         self._epoch = 0
         self.pressured_epochs = 0
+        self._was_pressured = False
         self.emergency_reclaims = 0
         self.swap_demotions = 0
         self.swap_aligned_demotions = 0
@@ -230,9 +231,19 @@ class PressureController:
         config = self.config
         total = memory.total_pages
         if memory.free_pages >= int(config.watermark_low * total):
+            if self._was_pressured:
+                # Transition-only recovery record, so stream consumers
+                # (the oscillation watchdog) see the ladder disengage.
+                self._was_pressured = False
+                obs.emit(
+                    "pressure.watermark",
+                    level="ok",
+                    free_pages=memory.free_pages,
+                )
             if memory.free_pages >= int(config.watermark_high * total):
                 self._deflate_all()
             return
+        self._was_pressured = True
         self.pressured_epochs += 1
         critical = memory.free_pages < int(config.watermark_critical * total)
         obs.count("pressure.epochs")

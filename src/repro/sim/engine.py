@@ -251,13 +251,45 @@ class Simulation:
         results = [
             RunResult(system=self.system, workload=w.name) for w in self.workloads
         ]
-        for epoch in range(self.config.epochs):
-            self._epoch(epoch, results)
+        telemetry, recorder, installed_monitor = self._attach_health()
+        try:
+            for epoch in range(self.config.epochs):
+                self._epoch(epoch, results)
+        except BaseException as error:
+            if recorder is not None:
+                recorder.dump("exception", config=self.config, error=error)
+            raise
+        finally:
+            if installed_monitor and telemetry is not None:
+                telemetry.monitor = None
         if self.runtime is not None:
             stats = self.runtime.stats()
             for result in results:
                 result.gemini_stats = stats
         return results
+
+    def _attach_health(self):
+        """Arm the watchdog monitor (and flight recorder, when a trace
+        directory is configured) for this run; single-process, so the
+        monitor sees every event as it is emitted."""
+        telemetry = obs.get()
+        if telemetry is None:
+            return None, None, False
+        from repro.obs.health import FlightRecorder, HealthMonitor
+
+        installed = False
+        if telemetry.monitor is None:
+            telemetry.monitor = HealthMonitor()
+            installed = True
+        recorder = None
+        out_dir = obs.trace_out_dir()
+        if out_dir is not None:
+            recorder = FlightRecorder(telemetry, out_dir)
+            config = self.config
+            telemetry.monitor.on_breach = (
+                lambda finding: recorder.breach(finding, config=config)
+            )
+        return telemetry, recorder, installed
 
     def run_single(self) -> RunResult:
         """Run and return the (single) workload's result."""

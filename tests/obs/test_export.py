@@ -152,7 +152,7 @@ def test_export_run_writes_all_artifacts(tmp_path):
         pass
     telemetry.emit_at("host.epoch", 0, 0, fmfi=0.5)
     paths = export_run(telemetry, tmp_path / "out")
-    assert sorted(paths) == ["events", "series", "spans", "trace"]
+    assert sorted(paths) == ["events", "series", "spans", "stats", "trace"]
     for path in paths.values():
         assert path.exists() and path.stat().st_size > 0
     assert read_jsonl(paths["events"].read_text())[0].kind == "host.epoch"
@@ -170,3 +170,76 @@ def test_export_run_uses_deterministic_clock_wall():
     telemetry2 = Telemetry(clock=Clock(wall=lambda: 0.0))
     telemetry2.emit_at("host.epoch", 0, 0)
     assert first == events_to_jsonl(telemetry2.events())
+
+
+def test_jsonl_round_trip_pressure_and_swap_kinds():
+    # The memory-pressure subsystem's event kinds survive export intact.
+    events = [
+        Event("pressure.watermark", 0, 2, 1, 0.0,
+              (("free_pages", 120), ("level", "low"))),
+        Event("swap.out", 0, 2, 2, 0.0,
+              (("demoted_aligned", 1), ("demoted_huge", 2), ("pages", 640))),
+        Event("swap.in", 0, 3, 3, 0.0, (("pages", 64),)),
+        Event("pressure.demote", 0, 3, 4, 0.0, (("aligned", 5),)),
+    ]
+    assert read_jsonl(events_to_jsonl(events)) == events
+
+
+def test_timeseries_rows_fold_pressure_and_swap():
+    events = [
+        Event("swap.out", 0, 0, 1, 0.0, (("pages", 500),)),
+        Event("swap.out", 0, 0, 2, 0.0, (("pages", 100),)),
+        Event("swap.in", 0, 0, 3, 0.0, (("pages", 40),)),
+        Event("pressure.demote", 0, 0, 4, 0.0, (("aligned", 3),)),
+        Event("pressure.watermark", 0, 0, 5, 0.0,
+              (("free_pages", 80), ("level", "low"))),
+        Event("pressure.watermark", 0, 1, 6, 0.0,
+              (("free_pages", 900), ("level", "ok"))),
+    ]
+    rows = timeseries_rows(events)
+    assert len(rows) == 2
+    first, second = rows
+    assert first["swap_out_pages"] == 600
+    assert first["swap_in_pages"] == 40
+    assert first["aligned_demotions"] == 3
+    assert first["watermark"] == "low"
+    assert first["free_pages"] == 80
+    assert second["watermark"] == "ok"
+    assert second["free_pages"] == 900
+    csv_text = telemetry_series_to_csv(rows)
+    header = csv_text.splitlines()[0].split(",")
+    for column in ("swap_out_pages", "swap_in_pages",
+                   "aligned_demotions", "watermark", "free_pages"):
+        assert column in header
+
+
+def test_chrome_trace_renders_pressure_instants():
+    telemetry = Telemetry(clock=ManualClock(step=0.001))
+    telemetry.emit_at("pressure.watermark", 1, 0, level="low", free_pages=8)
+    telemetry.emit_at("swap.out", 1, 0, pages=320, demoted_huge=1,
+                      demoted_aligned=0)
+    entries = chrome_trace(telemetry)["traceEvents"]
+    instants = [entry for entry in entries if entry["ph"] == "i"]
+    assert {entry["name"] for entry in instants} == {
+        "pressure.watermark", "swap.out",
+    }
+    for entry in instants:
+        assert entry["s"] == "t" and entry["pid"] == 2
+    by_name = {entry["name"]: entry for entry in instants}
+    assert by_name["swap.out"]["args"]["pages"] == 320
+
+
+def test_export_run_stats_artifact(tmp_path):
+    telemetry = Telemetry(clock=ManualClock(step=0.001), span_capacity=2)
+    for _ in range(4):
+        with telemetry.span("tick"):
+            pass
+    telemetry.count("epochs", 3)
+    telemetry.observe("latency", 2.0)
+    telemetry.observe("latency", 8.0)
+    paths = export_run(telemetry, tmp_path / "out")
+    stats = json.loads(paths["stats"].read_text())
+    assert stats["stats"]["spans_dropped"] == 2
+    assert stats["counters"]["epochs"] == 3
+    hist = stats["histograms"]["latency"]
+    assert hist["count"] == 2 and hist["p50"] == 2.0 and hist["p99"] == 8.0

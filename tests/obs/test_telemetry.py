@@ -282,3 +282,79 @@ def test_configure_from_env_reads_knobs():
 def test_configure_from_env_defaults_to_off():
     assert obs.configure_from_env({}) is None
     assert not obs.enabled()
+
+
+# ----------------------------------------------------------------------
+# Quantile reservoirs and dropped-span accounting
+# ----------------------------------------------------------------------
+
+
+def test_quantiles_exact_below_reservoir_cap():
+    telemetry = Telemetry(clock=ManualClock())
+    for value in range(1, 101):  # 1..100
+        telemetry.observe("latency", float(value))
+    quantiles = telemetry.quantiles("latency")
+    assert quantiles[0.5] == 50.0
+    assert quantiles[0.95] == 95.0
+    assert quantiles[0.99] == 99.0
+    assert telemetry.quantiles("missing") is None
+
+
+def test_reservoir_is_bounded_and_representative():
+    telemetry = Telemetry(clock=ManualClock())
+    for value in range(10_000):
+        telemetry.observe("latency", float(value))
+    stat = telemetry._histograms["latency"]
+    assert len(stat[4]) <= Telemetry.RESERVOIR_CAP
+    assert stat[5] > 1  # stride grew through decimation
+    # Approximate quantiles stay within a few percent of truth.
+    quantiles = telemetry.quantiles("latency")
+    assert abs(quantiles[0.5] - 5_000) < 500
+    assert abs(quantiles[0.99] - 9_900) < 500
+    summary = telemetry.histogram_summary()["latency"]
+    assert summary["count"] == 10_000
+    assert summary["min"] == 0.0 and summary["max"] == 9_999.0
+    assert summary["p50"] == quantiles[0.5]
+
+
+def test_merge_folds_quantile_reservoirs():
+    controller = Telemetry(clock=ManualClock())
+    worker = Telemetry(clock=ManualClock())
+    for value in range(1, 51):
+        controller.observe("latency", float(value))
+    for value in range(51, 101):
+        worker.observe("latency", float(value))
+    controller.merge(worker.snapshot())
+    assert controller.histogram("latency") == (100, 5050.0, 1.0, 100.0)
+    quantiles = controller.quantiles("latency")
+    assert quantiles[0.5] == 50.0
+    assert quantiles[0.99] == 99.0
+
+
+def test_dropped_spans_are_counted_not_silent():
+    telemetry = Telemetry(clock=ManualClock(), span_capacity=3)
+    for _ in range(10):
+        with telemetry.span("tick"):
+            pass
+    assert telemetry.spans_dropped == 7
+    assert telemetry.stats()["spans_dropped"] == 7
+    snapshot = telemetry.snapshot(reset=True)
+    assert snapshot.span_dropped == 7
+    assert telemetry.spans_dropped == 0  # per-interval, like the ring
+
+
+def test_merge_folds_dropped_spans_and_overflow():
+    controller = Telemetry(clock=ManualClock(), span_capacity=4)
+    worker = Telemetry(clock=ManualClock(), span_capacity=3)
+    for _ in range(5):  # worker drops 2 locally
+        with worker.span("tick"):
+            pass
+    for _ in range(3):  # leaves one free slot in the controller trace
+        with controller.span("ctl"):
+            pass
+    controller.merge(worker.snapshot())
+    # Controller kept 3 own + 1 merged; 2 merged spans overflowed here
+    # on top of the 2 the worker already dropped.
+    assert len(controller.span_trace()) == 4
+    assert controller.spans_dropped == 4
+    assert controller.stats()["spans_dropped"] == 4

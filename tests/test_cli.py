@@ -209,3 +209,86 @@ def test_pressure_victim_choices_enforced():
 def test_overcommit_experiment_is_registered():
     args = build_parser().parse_args(["experiment", "overcommit"])
     assert args.name == "overcommit"
+
+
+def _export_cluster(out_dir, seed):
+    from repro import obs
+
+    # Each export models a separate CLI process: drop the registry the
+    # previous traced invocation left enabled so events don't accumulate.
+    obs.disable()
+    obs.clear_context()
+    code = main([
+        "cluster", "--hosts", "2", "--host-mib", "512", "--epochs", "3",
+        "--seed", str(seed), "--trace-out", str(out_dir),
+    ])
+    assert code == 0
+
+
+def test_diff_same_seed_reports_identical(tmp_path, capsys, _trace_env):
+    _export_cluster(tmp_path / "a", seed=42)
+    _export_cluster(tmp_path / "b", seed=42)
+    capsys.readouterr()
+    assert main(["diff", str(tmp_path / "a"), str(tmp_path / "b")]) == 0
+    out = capsys.readouterr().out
+    assert "IDENTICAL" in out
+    # Strict mode succeeds too: nothing diverged.
+    assert main(["diff", str(tmp_path / "a"), str(tmp_path / "b"),
+                 "--strict"]) == 0
+
+
+def test_diff_seed_change_reports_attributed_deltas(tmp_path, capsys,
+                                                    _trace_env):
+    _export_cluster(tmp_path / "a", seed=42)
+    _export_cluster(tmp_path / "c", seed=43)
+    capsys.readouterr()
+    assert main(["diff", str(tmp_path / "a"), str(tmp_path / "c")]) == 0
+    out = capsys.readouterr().out
+    assert "DIVERGED" in out
+    assert "first mismatch at seq" in out
+    # Strict mode turns divergence into a failing exit code for CI.
+    assert main(["diff", str(tmp_path / "a"), str(tmp_path / "c"),
+                 "--strict"]) == 1
+
+
+def test_trace_out_prints_critical_path(tmp_path, capsys, _trace_env):
+    _export_cluster(tmp_path / "trace", seed=42)
+    out = capsys.readouterr().out
+    assert "critical paths over" in out
+    assert "where the time went" in out
+
+
+def test_bench_compare_command(tmp_path, capsys):
+    import json
+
+    from repro.obs.bench import append_history
+
+    report = {"fleet": {"serial_seconds": 2.0}}
+    history = tmp_path / "history.jsonl"
+    for _ in range(3):
+        append_history(report, history)
+    fresh = tmp_path / "fresh.json"
+
+    fresh.write_text(json.dumps({"fleet": {"serial_seconds": 2.1}}))
+    assert main(["bench", "compare", "--history", str(history),
+                 "--fresh", str(fresh)]) == 0
+    assert "no regressions" in capsys.readouterr().out
+
+    fresh.write_text(json.dumps({"fleet": {"serial_seconds": 4.0}}))
+    assert main(["bench", "compare", "--history", str(history),
+                 "--fresh", str(fresh)]) == 0  # fail-soft by default
+    assert "REGRESSION fleet.serial_seconds" in capsys.readouterr().out
+    assert main(["bench", "compare", "--history", str(history),
+                 "--fresh", str(fresh), "--strict"]) == 1
+    capsys.readouterr()
+
+
+def test_bench_compare_tolerates_missing_inputs(tmp_path, capsys):
+    missing = tmp_path / "nope.json"
+    assert main(["bench", "compare", "--history",
+                 str(tmp_path / "h.jsonl"), "--fresh", str(missing)]) == 1
+    assert "bench report not found" in capsys.readouterr().out
+    missing.write_text('{"fleet": {"serial_seconds": 1.0}}')
+    assert main(["bench", "compare", "--history",
+                 str(tmp_path / "h.jsonl"), "--fresh", str(missing)]) == 0
+    assert "no bench history" in capsys.readouterr().out
